@@ -1,0 +1,279 @@
+//! Parameterized assay families: the classic structures of the biochip
+//! synthesis literature, scalable to any size.
+//!
+//! Where [`crate::assays`] fixes the paper's exact benchmark instances,
+//! this module generates whole *families* — mixing trees, serial dilution
+//! ladders, interpolated dilutions, multiplexed panels — for scalability
+//! studies and stress tests.
+
+use mfb_model::prelude::*;
+
+/// Diffusion coefficient whose residue washes in `secs` seconds under the
+/// paper-calibrated model.
+fn d_wash(secs: f64) -> DiffusionCoefficient {
+    LogLinearWash::paper_calibrated().coefficient_for(Duration::from_secs_f64(secs))
+}
+
+/// A balanced binary **mixing tree** of the given depth: `2^depth` inputs
+/// pairwise merged by `2^depth - 1` mix operations (PCR sample preparation
+/// generalized). Depth 2 gives the classical 3-mix tree; depth 3 is PCR.
+///
+/// # Panics
+///
+/// Panics if `depth` is 0 or greater than 10.
+pub fn mixing_tree(depth: u32) -> SequencingGraph {
+    assert!((1..=10).contains(&depth), "depth must be 1..=10");
+    let mut b = SequencingGraph::builder();
+    b.name(format!("mixing-tree-{depth}"));
+    // Level k has 2^(depth-k) mixes, k = 1..=depth.
+    let mut prev: Vec<OpId> = (0..1u32 << (depth - 1))
+        .map(|i| {
+            b.labelled_operation(
+                OperationKind::Mix,
+                Duration::from_secs(6),
+                d_wash(0.2 + f64::from(i % 4)),
+                format!("leaf {i}"),
+            )
+        })
+        .collect();
+    let mut level = 1;
+    while prev.len() > 1 {
+        level += 1;
+        let next: Vec<OpId> = prev
+            .chunks(2)
+            .enumerate()
+            .map(|(i, pair)| {
+                let op = b.labelled_operation(
+                    OperationKind::Mix,
+                    Duration::from_secs(6),
+                    d_wash(1.0 + f64::from(level)),
+                    format!("merge L{level} #{i}"),
+                );
+                for &p in pair {
+                    b.edge(p, op).expect("tree edges are unique");
+                }
+                op
+            })
+            .collect();
+        prev = next;
+    }
+    b.build().expect("trees are DAGs")
+}
+
+/// A **serial dilution** ladder: `steps` chained mixes, each diluting the
+/// previous output with buffer, followed by a final detection.
+///
+/// # Panics
+///
+/// Panics if `steps` is 0.
+pub fn serial_dilution(steps: u32) -> SequencingGraph {
+    assert!(steps > 0, "at least one dilution step");
+    let mut b = SequencingGraph::builder();
+    b.name(format!("serial-dilution-{steps}"));
+    let mut prev = None;
+    for i in 0..steps {
+        // Contamination decays with dilution.
+        let wash = (8.0 - f64::from(i) * 0.8).max(0.5);
+        let op = b.labelled_operation(
+            OperationKind::Mix,
+            Duration::from_secs(5),
+            d_wash(wash),
+            format!("dilute {i}"),
+        );
+        if let Some(p) = prev {
+            b.edge(p, op).expect("chain edges are unique");
+        }
+        prev = Some(op);
+    }
+    let det = b.labelled_operation(
+        OperationKind::Detect,
+        Duration::from_secs(4),
+        d_wash(0.2),
+        "read",
+    );
+    b.edge(prev.expect("steps > 0"), det).expect("unique");
+    b.build().expect("chains are DAGs")
+}
+
+/// An **interpolated dilution** lattice of the given number of levels:
+/// each level mixes adjacent concentrations of the previous level, the
+/// standard scheme for producing a linear concentration series. Level `k`
+/// has `k` mixes; detections read the final level.
+///
+/// # Panics
+///
+/// Panics if `levels < 2`.
+pub fn interpolated_dilution(levels: u32) -> SequencingGraph {
+    assert!(levels >= 2, "need at least two levels");
+    let mut b = SequencingGraph::builder();
+    b.name(format!("interpolated-dilution-{levels}"));
+    let mut prev: Vec<OpId> = (0..2)
+        .map(|i| {
+            b.labelled_operation(
+                OperationKind::Mix,
+                Duration::from_secs(5),
+                d_wash(6.0),
+                format!("stock {i}"),
+            )
+        })
+        .collect();
+    for level in 2..=levels {
+        let mut next = Vec::new();
+        for i in 0..prev.len() - 1 {
+            let op = b.labelled_operation(
+                OperationKind::Mix,
+                Duration::from_secs(5),
+                d_wash(6.0 - f64::from(level) * 0.4),
+                format!("interp L{level} #{i}"),
+            );
+            b.edge(prev[i], op).expect("unique");
+            b.edge(prev[i + 1], op).expect("unique");
+            next.push(op);
+        }
+        // Carry the endpoints down unchanged (they stay available).
+        let mut carried = vec![prev[0]];
+        carried.extend(next);
+        carried.push(*prev.last().expect("non-empty"));
+        prev = carried;
+    }
+    for (i, &p) in prev.iter().enumerate().take(3) {
+        let det = b.labelled_operation(
+            OperationKind::Detect,
+            Duration::from_secs(3),
+            d_wash(0.2),
+            format!("read {i}"),
+        );
+        b.edge(p, det).expect("unique");
+    }
+    b.build().expect("lattices are DAGs")
+}
+
+/// A **multiplexed panel**: `n` independent sample→mix→detect chains, the
+/// IVD structure generalized.
+///
+/// # Panics
+///
+/// Panics if `n` is 0.
+pub fn multiplexed_panel(n: u32) -> SequencingGraph {
+    assert!(n > 0, "at least one channel");
+    let mut b = SequencingGraph::builder();
+    b.name(format!("panel-{n}"));
+    for i in 0..n {
+        let mix = b.labelled_operation(
+            OperationKind::Mix,
+            Duration::from_secs(5),
+            d_wash(2.0 + f64::from(i % 4) * 2.0),
+            format!("mix {i}"),
+        );
+        let det = b.labelled_operation(
+            OperationKind::Detect,
+            Duration::from_secs(4),
+            d_wash(0.2),
+            format!("read {i}"),
+        );
+        b.edge(mix, det).expect("unique");
+    }
+    b.build().expect("panels are DAGs")
+}
+
+/// A reasonable component allocation for `graph`: one component per kind
+/// for every three operations of that kind, at least one where the kind is
+/// used at all. (Leaner allocations serialize more operations, which piles
+/// cached fluids into the channels; three-per-component keeps the
+/// concurrency within what a conflict-free router can realize.)
+pub fn recommended_allocation(graph: &SequencingGraph) -> Allocation {
+    let h = graph.kind_histogram();
+    let per = |n: usize| -> u32 {
+        if n == 0 {
+            0
+        } else {
+            (n as u32).div_ceil(3).max(1)
+        }
+    };
+    Allocation::new(per(h[0]), per(h[1]), per(h[2]), per(h[3]))
+}
+
+/// The scalability series used by the `scalability` bench: synthetic
+/// assays of growing size with matching allocations.
+pub fn scalability_series() -> Vec<(SequencingGraph, Allocation)> {
+    [10usize, 20, 30, 40, 60, 80]
+        .into_iter()
+        .map(|n| {
+            let g = crate::synth::SyntheticSpec::new(n, 0x5CA1E ^ n as u64)
+                .kind_weights([4, 2, 2, 1])
+                .name(format!("scale-{n}"))
+                .generate();
+            let a = recommended_allocation(&g);
+            (g, a)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixing_tree_sizes() {
+        assert_eq!(mixing_tree(1).len(), 1);
+        assert_eq!(mixing_tree(2).len(), 3);
+        assert_eq!(mixing_tree(3).len(), 7); // PCR
+        let g = mixing_tree(4);
+        assert_eq!(g.len(), 15);
+        assert_eq!(g.sinks().count(), 1);
+        assert_eq!(g.depth(), 4);
+    }
+
+    #[test]
+    fn serial_dilution_is_a_chain() {
+        let g = serial_dilution(6);
+        assert_eq!(g.len(), 7); // 6 dilutions + detect
+        assert_eq!(g.depth(), 7);
+        assert_eq!(g.sources().count(), 1);
+    }
+
+    #[test]
+    fn interpolated_dilution_grows_by_level() {
+        let g = interpolated_dilution(4);
+        // Levels 2..4 add 1 + 2 + 3 mixes on top of 2 stocks, plus 3 reads.
+        assert_eq!(g.kind_histogram()[3], 3);
+        assert!(g.len() > 8);
+        assert!(g.depth() >= 4);
+    }
+
+    #[test]
+    fn panel_is_parallel_pairs() {
+        let g = multiplexed_panel(6);
+        assert_eq!(g.len(), 12);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.kind_histogram(), [6, 0, 0, 6]);
+    }
+
+    #[test]
+    fn recommended_allocation_covers_graph() {
+        for g in [
+            mixing_tree(3),
+            serial_dilution(8),
+            interpolated_dilution(4),
+            multiplexed_panel(5),
+        ] {
+            let a = recommended_allocation(&g);
+            let set = a.instantiate(&ComponentLibrary::default());
+            assert!(set.covers(g.ops().map(|o| o.kind())), "{}", g.name());
+        }
+    }
+
+    #[test]
+    fn scalability_series_is_monotone() {
+        let series = scalability_series();
+        assert_eq!(series.len(), 6);
+        for w in series.windows(2) {
+            assert!(w[0].0.len() < w[1].0.len());
+        }
+        for (g, a) in &series {
+            assert!(a
+                .instantiate(&ComponentLibrary::default())
+                .covers(g.ops().map(|o| o.kind())));
+        }
+    }
+}

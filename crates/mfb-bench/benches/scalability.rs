@@ -1,0 +1,100 @@
+//! Scalability study (extension beyond the paper): how synthesis cost and
+//! solution quality scale with assay size, 10 → 80 operations.
+//!
+//! Prints the quality table once, then times full synthesis per size so
+//! criterion tracks the runtime growth curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mfb_bench::wash;
+use mfb_bench_suite::families::scalability_series;
+use mfb_core::prelude::*;
+use mfb_model::prelude::*;
+
+fn print_scalability_once() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let lib = ComponentLibrary::default();
+        let wash = wash();
+        println!("\n=== Scalability (extension) ===");
+        println!(
+            "{:>5} {:>12} {:>9} {:>9} {:>12} {:>10}",
+            "Ops", "Alloc", "Exec(s)", "Util(%)", "Channel(mm)", "Wall(ms)"
+        );
+        for (g, alloc) in scalability_series() {
+            let comps = alloc.instantiate(&lib);
+            let t0 = std::time::Instant::now();
+            match Synthesizer::paper_dcsa().synthesize(&g, &comps, &wash) {
+                Ok(sol) => {
+                    let wall = t0.elapsed().as_secs_f64() * 1e3;
+                    let m = SolutionMetrics::of(&sol, &comps);
+                    println!(
+                        "{:>5} {:>12} {:>9.0} {:>9.1} {:>12.0} {:>10.1}",
+                        g.len(),
+                        alloc.to_string(),
+                        m.execution_time.as_secs_f64(),
+                        m.utilization * 100.0,
+                        m.channel_length_mm,
+                        wall
+                    );
+                }
+                Err(_) => {
+                    // Beyond the conflict-free router's concurrency
+                    // ceiling: fall back to the delay-tolerant baseline
+                    // flow, which postpones transports instead of failing.
+                    match Synthesizer::paper_baseline().synthesize(&g, &comps, &wash) {
+                        Ok(sol) => {
+                            let wall = t0.elapsed().as_secs_f64() * 1e3;
+                            let m = SolutionMetrics::of(&sol, &comps);
+                            println!(
+                                "{:>5} {:>12} {:>9.0} {:>9.1} {:>12.0} {:>10.1}  (delay-tolerant fallback, +{:.0}s delay)",
+                                g.len(),
+                                alloc.to_string(),
+                                m.execution_time.as_secs_f64(),
+                                m.utilization * 100.0,
+                                m.channel_length_mm,
+                                wall,
+                                m.total_delay.as_secs_f64()
+                            );
+                        }
+                        Err(e) => println!("{:>5} {:>12}   failed: {e}", g.len(), alloc.to_string()),
+                    }
+                }
+            }
+        }
+        println!();
+    });
+}
+
+fn bench_scalability(c: &mut Criterion) {
+    print_scalability_once();
+    let lib = ComponentLibrary::default();
+    let wash = wash();
+    let mut group = c.benchmark_group("scalability_synthesis");
+    group.sample_size(10);
+    for (g, alloc) in scalability_series() {
+        // Skip sizes that cannot route within the retry budget; the quality
+        // table above reports them.
+        let comps = alloc.instantiate(&lib);
+        if Synthesizer::paper_dcsa()
+            .synthesize(&g, &comps, &wash)
+            .is_err()
+        {
+            continue;
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(g.len()),
+            &(g, comps),
+            |bench, (g, comps)| {
+                bench.iter(|| {
+                    Synthesizer::paper_dcsa()
+                        .synthesize(g, comps, &wash)
+                        .expect("synthesizes")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

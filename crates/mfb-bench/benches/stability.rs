@@ -1,0 +1,91 @@
+//! Seed-stability study (extension): how sensitive are the Table-I
+//! headline numbers to the annealer's random seed?
+//!
+//! Simulated annealing is the only stochastic stage of the flow; this
+//! harness re-synthesizes each benchmark across ten seeds and prints the
+//! min / median / max of execution time and channel length. Execution time
+//! should be perfectly stable (it is fixed at scheduling time and the
+//! conflict-free router never delays); channel length may wobble with the
+//! layout.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfb_bench::{benchmarks, wash};
+use mfb_core::prelude::*;
+use mfb_model::prelude::*;
+
+const SEEDS: u64 = 10;
+
+fn print_stability_once() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let lib = ComponentLibrary::default();
+        let wash = wash();
+        println!("\n=== Seed stability across {SEEDS} annealing seeds ===");
+        println!(
+            "{:<12} {:>22} {:>30}",
+            "Benchmark", "Exec(s) min/med/max", "Channel(mm) min/med/max"
+        );
+        for b in benchmarks() {
+            let comps = b.allocation.instantiate(&lib);
+            let mut execs = Vec::new();
+            let mut chans = Vec::new();
+            for seed in 0..SEEDS {
+                let cfg = SynthesisConfig::paper_dcsa().with_seed(0xD1CE + seed);
+                match Synthesizer::new(cfg).synthesize(&b.graph, &comps, &wash) {
+                    Ok(sol) => {
+                        let m = SolutionMetrics::of(&sol, &comps);
+                        execs.push(m.execution_time.as_secs_f64());
+                        chans.push(m.channel_length_mm);
+                    }
+                    Err(_) => { /* counted implicitly by fewer samples */ }
+                }
+            }
+            if execs.is_empty() {
+                println!("{:<12} no routable seed", b.name);
+                continue;
+            }
+            execs.sort_by(f64::total_cmp);
+            chans.sort_by(f64::total_cmp);
+            let med = |v: &[f64]| v[v.len() / 2];
+            println!(
+                "{:<12} {:>6.0} /{:>5.0} /{:>5.0} {:>12.0} /{:>6.0} /{:>6.0}   ({} ok)",
+                b.name,
+                execs[0],
+                med(&execs),
+                execs[execs.len() - 1],
+                chans[0],
+                med(&chans),
+                chans[chans.len() - 1],
+                execs.len()
+            );
+        }
+        println!();
+    });
+}
+
+fn bench_stability(c: &mut Criterion) {
+    print_stability_once();
+    // Time a representative many-seed synthesis (the whole sweep for CPA).
+    let lib = ComponentLibrary::default();
+    let wash = wash();
+    let cpa = benchmarks().into_iter().find(|b| b.name == "CPA").unwrap();
+    let comps = cpa.allocation.instantiate(&lib);
+    let mut group = c.benchmark_group("stability");
+    group.sample_size(10);
+    group.bench_function("cpa_seed_sweep", |bench| {
+        bench.iter(|| {
+            (0..SEEDS)
+                .filter_map(|seed| {
+                    let cfg = SynthesisConfig::paper_dcsa().with_seed(0xD1CE + seed);
+                    Synthesizer::new(cfg)
+                        .synthesize(&cpa.graph, &comps, &wash)
+                        .ok()
+                })
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stability);
+criterion_main!(benches);

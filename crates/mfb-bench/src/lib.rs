@@ -1,0 +1,34 @@
+//! Shared helpers for the benchmark harnesses in `benches/`.
+//!
+//! Each bench target regenerates one table or figure of the paper before
+//! timing the computation that produces it, so `cargo bench` doubles as the
+//! experiment reproduction entry point (see EXPERIMENTS.md).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use mfb_bench_suite::{table1_benchmarks, Benchmark};
+use mfb_core::prelude::*;
+use mfb_model::prelude::*;
+
+/// The paper-calibrated wash model used by every experiment.
+pub fn wash() -> LogLinearWash {
+    LogLinearWash::paper_calibrated()
+}
+
+/// All Table-I benchmarks.
+pub fn benchmarks() -> Vec<Benchmark> {
+    table1_benchmarks()
+}
+
+/// Runs both flows on every benchmark and returns the comparison rows.
+pub fn compare_all() -> Vec<ComparisonRow> {
+    let lib = ComponentLibrary::default();
+    benchmarks()
+        .into_iter()
+        .map(|b| {
+            ComparisonRow::compare(b.name, &b.graph, b.allocation, &lib, &wash())
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name))
+        })
+        .collect()
+}

@@ -1,0 +1,475 @@
+//! `mfb` — command-line driver for DCSA flow-layer physical synthesis.
+//!
+//! ```text
+//! mfb list                         list benchmarks
+//! mfb table1                       regenerate the paper's Table I
+//! mfb fig8                         regenerate Fig. 8 (channel cache time)
+//! mfb fig9                         regenerate Fig. 9 (channel wash time)
+//! mfb motivating                   run the Fig. 2(a) running example
+//! mfb run <bench> [options]        synthesize one benchmark
+//!     --flow ours|ba               which flow (default ours)
+//!     --svg <file>                 write the layout as SVG
+//!     --map                        print the ASCII layout
+//!     --gantt                      print the schedule Gantt chart
+//! mfb ablation                     binding/weight ablation study
+//! ```
+
+use mfb_bench_suite::{benchmark_by_name, motivating_example, table1_benchmarks, Benchmark};
+use mfb_core::prelude::*;
+use mfb_model::prelude::*;
+use mfb_sched::prelude::BindingRule;
+use mfb_viz::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let rest = &args[1.min(args.len())..];
+    let result = match cmd {
+        "list" => cmd_list(),
+        "table1" => cmd_table1(),
+        "fig8" => cmd_fig(8),
+        "fig9" => cmd_fig(9),
+        "motivating" => cmd_motivating(),
+        "run" => cmd_run(rest),
+        "run-file" => cmd_run_file(rest),
+        "audit" => cmd_audit(rest),
+        "events" => cmd_events(rest),
+        "validate" => cmd_validate(rest),
+        "ablation" => cmd_ablation(),
+        "help" | "--help" | "-h" => {
+            print!("{}", HELP);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`; try `mfb help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const HELP: &str = "\
+mfb - physical synthesis for flow-based microfluidic biochips with
+distributed channel storage (Chen et al., DATE 2019)
+
+USAGE:
+    mfb list                       list benchmarks
+    mfb table1                     regenerate the paper's Table I
+    mfb fig8                       regenerate Fig. 8 (channel cache time)
+    mfb fig9                       regenerate Fig. 9 (channel wash time)
+    mfb motivating                 run the Fig. 2(a) running example
+    mfb run <bench> [options]      synthesize one benchmark
+        --flow ours|ba             which flow (default: ours)
+        --svg <file>               write the layout as SVG
+        --map                      print the ASCII layout
+        --gantt                    print the schedule Gantt chart
+        --heat                     print the channel-occupancy heatmap
+        --save <file.json>         archive the full solution as JSON
+    mfb run-file <file.assay>      synthesize a user-defined assay
+                                   (same options as `run`; the file must
+                                   contain an `alloc` line)
+    mfb audit <bench>              physical audits of a synthesized chip:
+                                   transport-time slack under a pressure-
+                                   driven flow model, occupied area vs a
+                                   conventional dedicated-storage design,
+                                   and the control-layer estimate
+    mfb events <bench> [--flow f]  chronological chip event log
+    mfb validate <file.json> <bench>
+                                   load an archived solution and replay it
+                                   through the independent validator
+    mfb ablation                   binding/weight ablation study
+";
+
+fn wash() -> LogLinearWash {
+    LogLinearWash::paper_calibrated()
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!(
+        "{:<12} {:>4} {:>12} {:>7} {:>7}",
+        "Benchmark", "Ops", "Components", "Edges", "Depth"
+    );
+    for b in table1_benchmarks() {
+        println!(
+            "{:<12} {:>4} {:>12} {:>7} {:>7}",
+            b.name,
+            b.graph.len(),
+            b.allocation.to_string(),
+            b.graph.edge_count(),
+            b.graph.depth()
+        );
+    }
+    Ok(())
+}
+
+fn compare_all() -> Result<Vec<ComparisonRow>, String> {
+    let lib = ComponentLibrary::default();
+    table1_benchmarks()
+        .into_iter()
+        .map(|b| {
+            ComparisonRow::compare(b.name, &b.graph, b.allocation, &lib, &wash())
+                .map_err(|e| format!("{}: {e}", b.name))
+        })
+        .collect()
+}
+
+fn cmd_table1() -> Result<(), String> {
+    let rows = compare_all()?;
+    print!("{}", table1_text(&rows));
+    Ok(())
+}
+
+fn cmd_fig(which: u8) -> Result<(), String> {
+    let rows = compare_all()?;
+    if which == 8 {
+        print!("{}", fig8_text(&rows));
+    } else {
+        print!("{}", fig9_text(&rows));
+    }
+    Ok(())
+}
+
+fn synthesize(b: &Benchmark, flow: &str) -> Result<(ComponentSet, Solution), String> {
+    let comps = b.components(&ComponentLibrary::default());
+    let synth = match flow {
+        "ours" => Synthesizer::paper_dcsa(),
+        "ba" => Synthesizer::paper_baseline(),
+        other => return Err(format!("unknown flow `{other}` (expected ours|ba)")),
+    };
+    let solution = synth
+        .synthesize(&b.graph, &comps, &wash())
+        .map_err(|e| e.to_string())?;
+    Ok((comps, solution))
+}
+
+fn print_solution(name: &str, comps: &ComponentSet, solution: &Solution) {
+    let m = SolutionMetrics::of(solution, comps);
+    println!("benchmark: {name}");
+    println!("  execution time     : {}", m.execution_time);
+    println!("  resource util      : {:.1}%", m.utilization * 100.0);
+    println!("  channel length     : {:.0} mm", m.channel_length_mm);
+    println!("  channel cache time : {}", m.cache_time);
+    println!("  channel wash time  : {}", m.channel_wash_time);
+    println!("  component washes   : {}", m.component_wash_time);
+    println!("  routing delay      : {}", m.total_delay);
+    println!("  in-place deliveries: {}", m.in_place);
+    println!("  transports routed  : {}", m.transports);
+    println!("  placement attempts : {}", solution.attempts);
+    let control =
+        mfb_control::ControlEstimate::of_chip(&solution.routing, &solution.placement, comps);
+    println!("  control estimate   : {control}");
+}
+
+fn cmd_motivating() -> Result<(), String> {
+    let b = motivating_example();
+    let (comps, ours) = synthesize(&b, "ours")?;
+    let (_, ba) = synthesize(&b, "ba")?;
+    println!("== Fig. 2(a) running example ==\n");
+    println!("-- our flow --");
+    print_solution(b.name, &comps, &ours);
+    println!("\n{}", render_gantt(&ours.schedule, &comps));
+    println!("-- baseline --");
+    print_solution(b.name, &comps, &ba);
+    println!("\n{}", render_gantt(&ba.schedule, &comps));
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let mut bench: Option<String> = None;
+    let mut flow = "ours".to_string();
+    let mut svg_out: Option<String> = None;
+    let mut want_map = false;
+    let mut want_gantt = false;
+    let mut want_heat = false;
+    let mut save: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--flow" => flow = it.next().ok_or("--flow needs a value")?.clone(),
+            "--svg" => svg_out = Some(it.next().ok_or("--svg needs a file")?.clone()),
+            "--map" => want_map = true,
+            "--gantt" => want_gantt = true,
+            "--heat" => want_heat = true,
+            "--save" => save = Some(it.next().ok_or("--save needs a file")?.clone()),
+            other if bench.is_none() => bench = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let bench = bench.ok_or("usage: mfb run <benchmark> [--flow ours|ba]")?;
+    let b = benchmark_by_name(&bench)
+        .ok_or_else(|| format!("unknown benchmark `{bench}`; see `mfb list`"))?;
+    let (comps, solution) = synthesize(&b, &flow)?;
+    print_solution(b.name, &comps, &solution);
+
+    let report = solution.verify(&b.graph, &comps, &wash());
+    if report.is_valid() {
+        println!("  replay validation  : OK");
+    } else {
+        println!(
+            "  replay validation  : {} violations!",
+            report.violations.len()
+        );
+        for v in &report.violations {
+            println!("    {v}");
+        }
+    }
+
+    if want_gantt {
+        println!("\n{}", render_gantt(&solution.schedule, &comps));
+    }
+    if want_map {
+        println!(
+            "\n{}",
+            render_ascii(&solution.placement, &comps, Some(&solution.routing))
+        );
+    }
+    if want_heat {
+        println!(
+            "\n{}",
+            render_heatmap(&solution.placement, &solution.routing)
+        );
+    }
+    if let Some(path) = svg_out {
+        let svg = render_svg(&solution.placement, &comps, Some(&solution.routing));
+        std::fs::write(&path, svg).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("layout written to {path}");
+    }
+    if let Some(path) = save {
+        let json = serde_json::to_string_pretty(&solution)
+            .map_err(|e| format!("serializing solution: {e}"))?;
+        std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("solution written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_run_file(args: &[String]) -> Result<(), String> {
+    let mut file: Option<String> = None;
+    let mut flow = "ours".to_string();
+    let mut svg_out: Option<String> = None;
+    let mut want_map = false;
+    let mut want_gantt = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--flow" => flow = it.next().ok_or("--flow needs a value")?.clone(),
+            "--svg" => svg_out = Some(it.next().ok_or("--svg needs a file")?.clone()),
+            "--map" => want_map = true,
+            "--gantt" => want_gantt = true,
+            other if file.is_none() => file = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let file = file.ok_or("usage: mfb run-file <file.assay> [--flow ours|ba]")?;
+    let text = std::fs::read_to_string(&file).map_err(|e| format!("reading {file}: {e}"))?;
+    let assay = parse_assay(&text).map_err(|e| format!("{file}: {e}"))?;
+    let alloc = assay
+        .allocation
+        .ok_or("the assay file must contain an `alloc M H F D` line")?;
+    let comps = alloc.instantiate(&ComponentLibrary::default());
+    let synth = match flow.as_str() {
+        "ours" => Synthesizer::paper_dcsa(),
+        "ba" => Synthesizer::paper_baseline(),
+        other => return Err(format!("unknown flow `{other}` (expected ours|ba)")),
+    };
+    let solution = synth
+        .synthesize(&assay.graph, &comps, &wash())
+        .map_err(|e| e.to_string())?;
+    print_solution(assay.graph.name(), &comps, &solution);
+    let report = solution.verify(&assay.graph, &comps, &wash());
+    println!(
+        "  replay validation  : {}",
+        if report.is_valid() {
+            "OK".to_string()
+        } else {
+            format!("{} violations", report.violations.len())
+        }
+    );
+    if want_gantt {
+        println!("\n{}", render_gantt(&solution.schedule, &comps));
+    }
+    if want_map {
+        println!(
+            "\n{}",
+            render_ascii(&solution.placement, &comps, Some(&solution.routing))
+        );
+    }
+    if let Some(path) = svg_out {
+        let svg = render_svg(&solution.placement, &comps, Some(&solution.routing));
+        std::fs::write(&path, svg).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("layout written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_events(args: &[String]) -> Result<(), String> {
+    let mut bench: Option<String> = None;
+    let mut flow = "ours".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--flow" => flow = it.next().ok_or("--flow needs a value")?.clone(),
+            other if bench.is_none() => bench = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let bench = bench.ok_or("usage: mfb events <benchmark> [--flow ours|ba]")?;
+    let b = benchmark_by_name(&bench)
+        .ok_or_else(|| format!("unknown benchmark `{bench}`; see `mfb list`"))?;
+    let (_comps, solution) = synthesize(&b, &flow)?;
+    let log = mfb_sim::prelude::event_log(&solution.schedule, &solution.routing);
+    print!("{}", mfb_sim::prelude::render_event_log(&log));
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let [file, bench] = args else {
+        return Err("usage: mfb validate <file.json> <benchmark>".into());
+    };
+    let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+    let solution: Solution = serde_json::from_str(&text).map_err(|e| format!("{file}: {e}"))?;
+    let b = benchmark_by_name(bench)
+        .ok_or_else(|| format!("unknown benchmark `{bench}`; see `mfb list`"))?;
+    let comps = b.components(&ComponentLibrary::default());
+    let report = solution.verify(&b.graph, &comps, &wash());
+    if report.is_valid() {
+        println!(
+            "{file}: physically executable on {} ({} transports, makespan {:.1}s)",
+            b.name,
+            solution.routing.paths.len(),
+            report.stats.makespan.as_secs_f64()
+        );
+        Ok(())
+    } else {
+        for v in &report.violations {
+            eprintln!("  {v}");
+        }
+        Err(format!("{file}: {} violations", report.violations.len()))
+    }
+}
+
+fn cmd_audit(args: &[String]) -> Result<(), String> {
+    let bench = args.first().ok_or("usage: mfb audit <benchmark>")?.clone();
+    let b = benchmark_by_name(&bench)
+        .ok_or_else(|| format!("unknown benchmark `{bench}`; see `mfb list`"))?;
+    let (comps, solution) = synthesize(&b, "ours")?;
+
+    println!("physical audits for {}:", b.name);
+
+    // Transport-time slack: is the scheduler's constant t_c honest for the
+    // routed channel lengths under realistic pumping pressure?
+    let model = PressureDriven::typical_pdms();
+    let audit = audit_transport_times(&solution, &model);
+    println!(
+        "  transport audit ({:.0} kPa, {:.0} um channels): {}",
+        model.pressure_kpa,
+        model.channel_height_um,
+        if audit.is_sound() {
+            format!(
+                "all {} transports fit t_c (worst ratio {:.2})",
+                audit.tasks.len(),
+                audit.worst_ratio()
+            )
+        } else {
+            format!("{} transports exceed t_c!", audit.violations().count())
+        }
+    );
+
+    // Area vs a conventional dedicated-storage design.
+    let area = area_report(&solution);
+    println!(
+        "  occupied area      : {:.0} mm^2 ({} fluids cached at peak)",
+        area.occupied_mm2, area.peak_cached_fluids
+    );
+    println!(
+        "  dedicated storage  : +{:.0} mm^2 equivalent ({:.0}% saved by DCSA)",
+        area.dedicated_storage_equivalent_mm2,
+        area.savings_fraction() * 100.0
+    );
+
+    // Wash realizability: can every channel wash actually be flushed with
+    // buffer in its time gap?
+    let plan = mfb_route::prelude::plan_washes(
+        &solution.routing,
+        &solution.schedule,
+        &b.graph,
+        &solution.placement,
+        &wash(),
+        &mfb_route::prelude::RouterConfig::paper(),
+    );
+    println!(
+        "  wash plan          : {} flushes, {} incidental, {} unplannable ({:.0}% coverage)",
+        plan.flushes.len(),
+        plan.incidental,
+        plan.unplanned.len(),
+        plan.coverage() * 100.0
+    );
+
+    // Control layer.
+    let control =
+        mfb_control::ControlEstimate::of_chip(&solution.routing, &solution.placement, &comps);
+    println!("  control layer      : {control}");
+    Ok(())
+}
+
+fn cmd_ablation() -> Result<(), String> {
+    use mfb_core::config::SynthesisConfig;
+    let lib = ComponentLibrary::default();
+    println!("Ablation study: each variant disables one design choice.\n");
+    println!(
+        "{:<12} {:>12} {:>10} {:>10} {:>12}",
+        "Benchmark", "Variant", "Exec(s)", "Util(%)", "Channel(mm)"
+    );
+    println!("{}", "-".repeat(60));
+    for b in table1_benchmarks() {
+        if !matches!(b.name, "CPA" | "Synthetic4") {
+            continue; // the paper-scale stress cases
+        }
+        let comps = b.allocation.instantiate(&lib);
+        let variants: [(&str, SynthesisConfig); 5] = [
+            ("full", SynthesisConfig::paper_dcsa()),
+            ("no-case1", {
+                let mut c = SynthesisConfig::paper_dcsa();
+                c.binding = BindingRule::EarliestReady;
+                c
+            }),
+            ("case1-any", {
+                let mut c = SynthesisConfig::paper_dcsa();
+                c.binding = BindingRule::StorageAwareUnordered;
+                c
+            }),
+            ("no-weights", {
+                let mut c = SynthesisConfig::paper_dcsa();
+                c.router.wash_aware_weights = false;
+                c
+            }),
+            ("cleanup", {
+                let mut c = SynthesisConfig::paper_dcsa();
+                c.optimize_channels = true;
+                c
+            }),
+        ];
+        for (name, mut cfg) in variants {
+            cfg.max_placement_attempts = 64;
+            match Synthesizer::new(cfg).synthesize(&b.graph, &comps, &wash()) {
+                Ok(sol) => {
+                    let m = SolutionMetrics::of(&sol, &comps);
+                    println!(
+                        "{:<12} {:>12} {:>10.0} {:>10.1} {:>12.0}",
+                        b.name,
+                        name,
+                        m.execution_time.as_secs_f64(),
+                        m.utilization * 100.0,
+                        m.channel_length_mm
+                    );
+                }
+                Err(e) => println!("{:<12} {:>12}   unroutable ({e})", b.name, name),
+            }
+        }
+    }
+    Ok(())
+}

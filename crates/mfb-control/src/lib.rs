@@ -1,0 +1,255 @@
+//! Control-layer cost estimation for routed DCSA chips.
+//!
+//! The paper closes with "future work will consider the optimization of
+//! control logic \[13\] to reduce the overall complexity of such platform".
+//! This crate provides the estimation side of that direction: given a
+//! routed flow layer, how much control hardware does it imply?
+//!
+//! The model follows the standard FBMB control architecture:
+//!
+//! * every **junction** — a channel cell where three or more channel
+//!   directions meet, or a channel cell adjacent to a component port —
+//!   needs one microvalve per incident channel direction to steer flows;
+//! * executing a transport task opens the valves along its path and closes
+//!   them afterwards, so each junction valve on the path contributes **two
+//!   switching events**;
+//! * with Hamming-style control multiplexing (Wang et al., ASP-DAC'17, the
+//!   paper's \[13\]), the number of control pins is lower-bounded by
+//!   `ceil(log2(distinct valve states + 1))`, and upper-bounded by one pin
+//!   per valve.
+//!
+//! These figures let design-space studies weigh the flow-layer gains of
+//! DCSA against control-layer complexity.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+use mfb_model::prelude::*;
+use mfb_place::prelude::Placement;
+use mfb_route::prelude::Routing;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Microvalves inside one component, by kind, following the canonical MLSI
+/// structures (Melin & Quake, Annu. Rev. Biophys. 2007): a rotary mixer
+/// carries a three-valve peristaltic pump plus two isolation valves per
+/// port; heaters, filters and detectors are passive chambers with two
+/// isolation valves.
+const COMPONENT_VALVES: [usize; 4] = [
+    3 + 2 * 2, // mixer: pump + 2 ports
+    2,         // heater
+    2,         // filter
+    2,         // detector
+];
+
+/// Estimated control-layer cost of a routed solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlEstimate {
+    /// Channel cells that act as junctions (see module docs).
+    pub junctions: usize,
+    /// Microvalves in the channel network: one per incident channel
+    /// direction per junction.
+    pub channel_valves: usize,
+    /// Microvalves inside components (pump and isolation valves).
+    pub component_valves: usize,
+    /// Total microvalves on the chip.
+    pub valves: usize,
+    /// Valve switching events over the whole assay (two per junction valve
+    /// traversal).
+    pub switching_events: usize,
+    /// Lower bound on control pins under ideal multiplexing.
+    pub min_control_pins: usize,
+    /// Upper bound on control pins (direct drive, one pin per valve).
+    pub max_control_pins: usize,
+}
+
+impl ControlEstimate {
+    /// Estimates the control layer implied by `routing` on `placement`,
+    /// counting component-internal valves for `components`.
+    pub fn of_chip(
+        routing: &Routing,
+        placement: &Placement,
+        components: &ComponentSet,
+    ) -> ControlEstimate {
+        let mut est = ControlEstimate::of(routing, placement);
+        est.component_valves = components
+            .iter()
+            .map(|c| COMPONENT_VALVES[c.kind() as usize])
+            .sum();
+        est.valves += est.component_valves;
+        est.max_control_pins = est.valves;
+        est.min_control_pins = (usize::BITS - est.valves.leading_zeros()) as usize;
+        est
+    }
+
+    /// Estimates the channel-network control layer implied by `routing` on
+    /// `placement` (component-internal valves excluded; see
+    /// [`ControlEstimate::of_chip`]).
+    pub fn of(routing: &Routing, placement: &Placement) -> ControlEstimate {
+        let grid = placement.grid();
+
+        // The channel graph: every used cell, with its neighbour set drawn
+        // from path adjacencies.
+        let mut neighbours: BTreeMap<CellPos, BTreeSet<CellPos>> = BTreeMap::new();
+        for path in &routing.paths {
+            for pair in path.cells.windows(2) {
+                if pair[0] != pair[1] {
+                    neighbours.entry(pair[0]).or_default().insert(pair[1]);
+                    neighbours.entry(pair[1]).or_default().insert(pair[0]);
+                }
+            }
+            if let Some(&only) = path.cells.first() {
+                neighbours.entry(only).or_default();
+            }
+        }
+
+        // Port adjacency: a channel cell next to a component rectangle has
+        // an extra (virtual) direction into the component.
+        let port_degree = |cell: CellPos| -> usize {
+            cell.neighbours(grid.width, grid.height)
+                .filter(|&nb| placement.rects().iter().any(|r| r.contains(nb)))
+                .count()
+        };
+
+        let mut junctions = 0usize;
+        let mut channel_valves = 0usize;
+        let mut junction_cells: BTreeSet<CellPos> = BTreeSet::new();
+        for (&cell, nbs) in &neighbours {
+            let degree = nbs.len() + port_degree(cell);
+            if degree >= 3 || (port_degree(cell) > 0 && !nbs.is_empty()) {
+                junctions += 1;
+                channel_valves += degree;
+                junction_cells.insert(cell);
+            }
+        }
+
+        // Switching: two events per junction cell traversed per task.
+        let switching_events = routing
+            .paths
+            .iter()
+            .map(|p| {
+                2 * p
+                    .cells
+                    .iter()
+                    .filter(|c| junction_cells.contains(c))
+                    .count()
+            })
+            .sum();
+
+        // ceil(log2(valves + 1)) = bit-width of `valves`.
+        let min_control_pins = (usize::BITS - channel_valves.leading_zeros()) as usize;
+
+        ControlEstimate {
+            junctions,
+            channel_valves,
+            component_valves: 0,
+            valves: channel_valves,
+            switching_events,
+            min_control_pins,
+            max_control_pins: channel_valves,
+        }
+    }
+}
+
+impl std::fmt::Display for ControlEstimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} junctions, {} valves ({} channel + {} component), {} switch events, {}..{} control pins",
+            self.junctions,
+            self.valves,
+            self.channel_valves,
+            self.component_valves,
+            self.switching_events,
+            self.min_control_pins,
+            self.max_control_pins
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfb_bench_suite::table1_benchmarks;
+    use mfb_core::prelude::*;
+
+    fn solved(name: &str) -> (Placement, Routing) {
+        let wash = LogLinearWash::paper_calibrated();
+        let b = table1_benchmarks()
+            .into_iter()
+            .find(|b| b.name == name)
+            .unwrap();
+        let comps = b.components(&ComponentLibrary::default());
+        let sol = Synthesizer::paper_dcsa()
+            .synthesize(&b.graph, &comps, &wash)
+            .unwrap();
+        (sol.placement, sol.routing)
+    }
+
+    #[test]
+    fn estimates_are_internally_consistent() {
+        let (p, r) = solved("CPA");
+        let est = ControlEstimate::of(&r, &p);
+        assert!(est.valves >= est.junctions, "each junction has >= 1 valve");
+        assert!(est.min_control_pins <= est.max_control_pins);
+        assert!(est.switching_events % 2 == 0, "open/close pairs");
+        assert!(est.to_string().contains("valves"));
+    }
+
+    #[test]
+    fn bigger_assays_need_more_control() {
+        let (p1, r1) = solved("PCR");
+        let (p2, r2) = solved("Synthetic4");
+        let small = ControlEstimate::of(&r1, &p1);
+        let large = ControlEstimate::of(&r2, &p2);
+        assert!(
+            large.valves > small.valves,
+            "Synthetic4 ({}) should out-valve PCR ({})",
+            large.valves,
+            small.valves
+        );
+    }
+
+    #[test]
+    fn empty_routing_means_no_control() {
+        let p = Placement::new(GridSpec::square(10), vec![]);
+        let r = Routing {
+            paths: vec![],
+            channel_washes: vec![],
+            realized: mfb_route::prelude::RealizedTimes {
+                start: vec![],
+                end: vec![],
+            },
+            grid: GridSpec::square(10),
+            used_cells: 0,
+        };
+        let est = ControlEstimate::of(&r, &p);
+        assert_eq!(est.valves, 0);
+        assert_eq!(est.min_control_pins, 0);
+        assert_eq!(est.switching_events, 0);
+    }
+
+    #[test]
+    fn chip_estimate_adds_component_valves() {
+        let (p, r) = solved("PCR");
+        let comps = mfb_model::prelude::Allocation::new(3, 0, 0, 0)
+            .instantiate(&mfb_model::prelude::ComponentLibrary::default());
+        let channel = ControlEstimate::of(&r, &p);
+        let chip = ControlEstimate::of_chip(&r, &p, &comps);
+        // Three mixers at 7 valves each.
+        assert_eq!(chip.component_valves, 21);
+        assert_eq!(chip.valves, channel.channel_valves + 21);
+        assert!(chip.min_control_pins >= channel.min_control_pins);
+        assert!(chip.to_string().contains("component"));
+    }
+
+    #[test]
+    fn pin_bound_is_logarithmic() {
+        // 7 valves -> ceil(log2(8)) = 3 pins.
+        let pins = |valves: usize| (usize::BITS - valves.leading_zeros()) as usize;
+        assert_eq!(pins(0), 0);
+        assert_eq!(pins(1), 1);
+        assert_eq!(pins(7), 3);
+        assert_eq!(pins(8), 4);
+    }
+}

@@ -1,0 +1,20 @@
+use mfb_bench_suite::table1_benchmarks;
+use mfb_core::prelude::*;
+use mfb_model::prelude::*;
+
+fn main() {
+    let wash = LogLinearWash::paper_calibrated();
+    let lib = ComponentLibrary::default();
+    let mut rows = Vec::new();
+    for b in table1_benchmarks() {
+        match ComparisonRow::compare(b.name, &b.graph, b.allocation, &lib, &wash) {
+            Ok(r) => rows.push(r),
+            Err(e) => println!("{}: ERROR {e}", b.name),
+        }
+    }
+    print!("{}", table1_text(&rows));
+    println!();
+    print!("{}", fig8_text(&rows));
+    println!();
+    print!("{}", fig9_text(&rows));
+}

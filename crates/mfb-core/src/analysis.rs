@@ -1,0 +1,244 @@
+//! Post-synthesis audits: physical transport-time slack and chip-area
+//! accounting.
+//!
+//! Two questions the paper leaves implicit, answerable once a solution
+//! exists:
+//!
+//! * **Is the constant `t_c` physically honest?** The schedule assumes
+//!   every transport completes in `t_c`; after routing, the real path
+//!   lengths are known and a pressure-driven flow model gives the real
+//!   travel times ([`audit_transport_times`]).
+//! * **How much area does DCSA actually save?** §II claims removing the
+//!   dedicated storage unit shrinks the chip; [`area_report`] compares the
+//!   synthesized chip's occupied area against a conventional design that
+//!   would add a dedicated storage unit sized for the observed peak number
+//!   of concurrently cached fluids.
+
+use crate::flow::Solution;
+use mfb_model::prelude::*;
+
+/// Physical audit of one transport task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskAudit {
+    /// The task.
+    pub task: TaskId,
+    /// Routed path length, millimetres.
+    pub path_mm: f64,
+    /// Travel time under the physical model.
+    pub physical_time: Duration,
+    /// The schedule's transport budget `t_c`.
+    pub budget: Duration,
+}
+
+impl TaskAudit {
+    /// `true` when the physical travel time fits the scheduled budget.
+    pub fn fits(&self) -> bool {
+        self.physical_time <= self.budget
+    }
+}
+
+/// Result of [`audit_transport_times`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransportAudit {
+    /// One entry per routed transport.
+    pub tasks: Vec<TaskAudit>,
+}
+
+impl TransportAudit {
+    /// Tasks whose physical travel time exceeds the scheduled `t_c`.
+    pub fn violations(&self) -> impl Iterator<Item = &TaskAudit> {
+        self.tasks.iter().filter(|t| !t.fits())
+    }
+
+    /// The largest `physical / budget` ratio (0 when no tasks exist).
+    pub fn worst_ratio(&self) -> f64 {
+        self.tasks
+            .iter()
+            .map(|t| t.physical_time.as_secs_f64() / t.budget.as_secs_f64().max(1e-12))
+            .fold(0.0, f64::max)
+    }
+
+    /// `true` when every transport fits its budget — the constant-`t_c`
+    /// abstraction is sound for this chip and pressure.
+    pub fn is_sound(&self) -> bool {
+        self.tasks.iter().all(TaskAudit::fits)
+    }
+}
+
+/// Audits every routed transport of `solution` under `model`.
+pub fn audit_transport_times(solution: &Solution, model: &dyn TransportModel) -> TransportAudit {
+    let pitch = solution.placement.grid().pitch_mm;
+    let tasks = solution
+        .routing
+        .paths
+        .iter()
+        .map(|p| {
+            let path_mm = p.len() as f64 * pitch;
+            TaskAudit {
+                task: p.task,
+                path_mm,
+                physical_time: model.transport_time(path_mm),
+                budget: solution.schedule.t_c,
+            }
+        })
+        .collect();
+    TransportAudit { tasks }
+}
+
+/// Area accounting for a synthesized chip versus a conventional
+/// dedicated-storage design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaReport {
+    /// Bounding box of all components and channels, mm².
+    pub occupied_mm2: f64,
+    /// Largest number of fluids cached in channels at the same instant.
+    pub peak_cached_fluids: usize,
+    /// Extra area a conventional design would spend on a dedicated storage
+    /// unit holding that many fluids (cells plus multiplexer ring), mm².
+    pub dedicated_storage_equivalent_mm2: f64,
+}
+
+impl AreaReport {
+    /// Fraction of the conventional design's area saved by DCSA,
+    /// `saved / (occupied + storage)`.
+    pub fn savings_fraction(&self) -> f64 {
+        let conventional = self.occupied_mm2 + self.dedicated_storage_equivalent_mm2;
+        if conventional == 0.0 {
+            0.0
+        } else {
+            self.dedicated_storage_equivalent_mm2 / conventional
+        }
+    }
+}
+
+/// Computes the area report of `solution` (see [`AreaReport`]).
+pub fn area_report(solution: &Solution) -> AreaReport {
+    let grid = solution.placement.grid();
+    let pitch = grid.pitch_mm;
+
+    // Bounding box over component rects and channel cells.
+    let mut min_x = u32::MAX;
+    let mut min_y = u32::MAX;
+    let mut max_x = 0u32;
+    let mut max_y = 0u32;
+    let mut any = false;
+    let mut cover = |cell: CellPos| {
+        any = true;
+        min_x = min_x.min(cell.x);
+        min_y = min_y.min(cell.y);
+        max_x = max_x.max(cell.x);
+        max_y = max_y.max(cell.y);
+    };
+    for rect in solution.placement.rects() {
+        cover(rect.origin);
+        let (x2, y2) = rect.upper_right();
+        cover(CellPos::new(x2 - 1, y2 - 1));
+    }
+    for p in &solution.routing.paths {
+        for &c in &p.cells {
+            cover(c);
+        }
+    }
+    let occupied_mm2 = if any {
+        f64::from(max_x - min_x + 1) * pitch * f64::from(max_y - min_y + 1) * pitch
+    } else {
+        0.0
+    };
+
+    // Peak concurrently cached fluids, over the cache intervals
+    // (arrival .. consumption) of all transports.
+    let peak_cached_fluids = peak_overlap(
+        solution
+            .schedule
+            .transports()
+            .filter(|t| !t.cache_time().is_zero())
+            .map(|t| Interval::new(t.arrive, t.consumed_at)),
+    );
+
+    // A conventional dedicated storage unit: one 2x1-cell chamber per
+    // cached fluid, plus a one-cell multiplexer ring around the block.
+    let chambers = peak_cached_fluids.max(1) as f64;
+    let block_cells = chambers * 2.0;
+    let side = block_cells.sqrt().ceil();
+    let storage_cells = (side + 2.0) * (block_cells / side).ceil().max(1.0) + 2.0 * side;
+    let dedicated_storage_equivalent_mm2 = if peak_cached_fluids == 0 {
+        0.0
+    } else {
+        storage_cells * pitch * pitch
+    };
+
+    AreaReport {
+        occupied_mm2,
+        peak_cached_fluids,
+        dedicated_storage_equivalent_mm2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::Synthesizer;
+
+    fn solved() -> (SequencingGraph, ComponentSet, Solution) {
+        let wash = LogLinearWash::paper_calibrated();
+        let d = |s: f64| wash.coefficient_for(Duration::from_secs_f64(s));
+        let mut b = SequencingGraph::builder();
+        // One mixer forces an eviction: o0's fluid caches in channels.
+        let o0 = b.operation(OperationKind::Mix, Duration::from_secs(5), d(2.0));
+        let _o1 = b.operation(OperationKind::Mix, Duration::from_secs(4), d(2.0));
+        let o2 = b.operation(OperationKind::Mix, Duration::from_secs(3), d(2.0));
+        b.edge(o0, o2).unwrap();
+        let g = b.build().unwrap();
+        let comps = Allocation::new(1, 0, 0, 0).instantiate(&ComponentLibrary::default());
+        let sol = Synthesizer::paper_dcsa()
+            .synthesize(&g, &comps, &wash)
+            .unwrap();
+        (g, comps, sol)
+    }
+
+    #[test]
+    fn constant_tc_audit_always_fits() {
+        let (_g, _c, sol) = solved();
+        let audit = audit_transport_times(&sol, &ConstantTc::paper());
+        assert!(audit.is_sound());
+        assert_eq!(audit.violations().count(), 0);
+        assert!((audit.worst_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn physical_audit_fits_at_typical_pressure() {
+        let (_g, _c, sol) = solved();
+        let audit = audit_transport_times(&sol, &PressureDriven::typical_pdms());
+        assert!(
+            audit.is_sound(),
+            "short on-chip paths must fit 2 s: {:?}",
+            audit.tasks
+        );
+    }
+
+    #[test]
+    fn starved_pressure_violates_budget() {
+        let (_g, _c, sol) = solved();
+        let weak = PressureDriven {
+            pressure_kpa: 0.001,
+            ..PressureDriven::typical_pdms()
+        };
+        let audit = audit_transport_times(&sol, &weak);
+        assert!(
+            !audit.is_sound(),
+            "micro-pressure cannot move plugs in time"
+        );
+        assert!(audit.worst_ratio() > 1.0);
+    }
+
+    #[test]
+    fn area_report_counts_cached_fluids() {
+        let (_g, _c, sol) = solved();
+        let report = area_report(&sol);
+        assert!(report.occupied_mm2 > 0.0);
+        assert_eq!(report.peak_cached_fluids, 1, "o0's fluid caches once");
+        assert!(report.dedicated_storage_equivalent_mm2 > 0.0);
+        let f = report.savings_fraction();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

@@ -1,0 +1,80 @@
+//! Whole-flow errors.
+
+use mfb_place::prelude::PlaceError;
+use mfb_route::prelude::RouteError;
+use mfb_sched::prelude::SchedError;
+use std::fmt;
+
+/// Errors produced by the synthesis flow.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SynthesisError {
+    /// Binding and scheduling failed.
+    Sched(SchedError),
+    /// Placement failed.
+    Place(PlaceError),
+    /// Routing failed on every placement attempt; the payload is the last
+    /// routing error.
+    Route {
+        /// The final routing error.
+        last: RouteError,
+        /// How many placements were tried.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::Sched(e) => write!(f, "scheduling failed: {e}"),
+            SynthesisError::Place(e) => write!(f, "placement failed: {e}"),
+            SynthesisError::Route { last, attempts } => {
+                write!(
+                    f,
+                    "routing failed after {attempts} placement attempts: {last}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SynthesisError::Sched(e) => Some(e),
+            SynthesisError::Place(e) => Some(e),
+            SynthesisError::Route { last, .. } => Some(last),
+        }
+    }
+}
+
+impl From<SchedError> for SynthesisError {
+    fn from(e: SchedError) -> Self {
+        SynthesisError::Sched(e)
+    }
+}
+
+impl From<PlaceError> for SynthesisError {
+    fn from(e: PlaceError) -> Self {
+        SynthesisError::Place(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfb_model::prelude::*;
+
+    #[test]
+    fn displays_chain_causes() {
+        let e = SynthesisError::Route {
+            last: RouteError::Unroutable {
+                task: TaskId::new(3),
+            },
+            attempts: 24,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("24") && msg.contains("tk3"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

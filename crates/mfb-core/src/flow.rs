@@ -1,0 +1,277 @@
+//! The top-down synthesis flow: scheduling → placement → routing, with
+//! routing-feedback placement retries.
+
+use crate::config::{PlacementStrategy, RoutingStrategy, SynthesisConfig};
+use crate::error::SynthesisError;
+use mfb_model::prelude::*;
+use mfb_place::prelude::*;
+use mfb_route::prelude::*;
+use mfb_sched::prelude::*;
+use mfb_sim::prelude::{replay, SimReport};
+
+/// A complete flow-layer physical design for one bioassay.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Solution {
+    /// The binding and scheduling scheme.
+    pub schedule: Schedule,
+    /// The routing netlist with its connection priorities.
+    pub netlist: NetList,
+    /// Component locations.
+    pub placement: Placement,
+    /// Flow channels and realized times.
+    pub routing: Routing,
+    /// How many placements were tried before routing succeeded.
+    pub attempts: u32,
+}
+
+impl Solution {
+    /// Replays the solution through the independent validator.
+    pub fn verify(
+        &self,
+        graph: &SequencingGraph,
+        components: &ComponentSet,
+        wash: &dyn WashModel,
+    ) -> SimReport {
+        replay(
+            graph,
+            components,
+            &self.schedule,
+            &self.placement,
+            &self.routing,
+            wash,
+        )
+    }
+}
+
+/// The top-down synthesizer. Owns a [`SynthesisConfig`] and runs the full
+/// pipeline on any (assay, component set) pair.
+///
+/// # Examples
+///
+/// ```
+/// use mfb_core::prelude::*;
+/// use mfb_model::prelude::*;
+///
+/// let mut b = SequencingGraph::builder();
+/// let wash = LogLinearWash::paper_calibrated();
+/// let d = DiffusionCoefficient::PROTEIN;
+/// let mix = b.operation(OperationKind::Mix, Duration::from_secs(5), d);
+/// let det = b.operation(OperationKind::Detect, Duration::from_secs(4), d);
+/// b.edge(mix, det).unwrap();
+/// let assay = b.build().unwrap();
+/// let chip = Allocation::new(1, 0, 0, 1).instantiate(&ComponentLibrary::default());
+///
+/// let solution = Synthesizer::paper_dcsa()
+///     .synthesize(&assay, &chip, &wash)
+///     .unwrap();
+/// assert!(solution.verify(&assay, &chip, &wash).is_valid());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Synthesizer {
+    config: SynthesisConfig,
+}
+
+impl Synthesizer {
+    /// A synthesizer with an explicit configuration.
+    pub fn new(config: SynthesisConfig) -> Self {
+        Synthesizer { config }
+    }
+
+    /// The paper's flow (storage-aware scheduling, SA placement,
+    /// conflict-aware routing).
+    pub fn paper_dcsa() -> Self {
+        Synthesizer::new(SynthesisConfig::paper_dcsa())
+    }
+
+    /// The paper's baseline flow (BA).
+    pub fn paper_baseline() -> Self {
+        Synthesizer::new(SynthesisConfig::paper_baseline())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SynthesisConfig {
+        &self.config
+    }
+
+    /// Runs the complete flow.
+    ///
+    /// Scheduling and netlist construction run once; placement and routing
+    /// iterate — when routing fails on a placement, the flow re-places with
+    /// a fresh annealing seed, growing the grid every eighth attempt, up to
+    /// [`SynthesisConfig::max_placement_attempts`].
+    ///
+    /// # Errors
+    ///
+    /// Any stage error; see [`SynthesisError`].
+    pub fn synthesize(
+        &self,
+        graph: &SequencingGraph,
+        components: &ComponentSet,
+        wash: &dyn WashModel,
+    ) -> Result<Solution, SynthesisError> {
+        let cfg = &self.config;
+        let sched_cfg = SchedulerConfig {
+            t_c: cfg.t_c,
+            rule: cfg.binding,
+        };
+        let schedule = mfb_sched::list::schedule(graph, components, wash, &sched_cfg)?;
+        let netlist = NetList::build(&schedule, graph, wash, cfg.beta, cfg.gamma);
+
+        let base_grid = cfg.grid.unwrap_or_else(|| auto_grid(components));
+        let attempts = cfg.max_placement_attempts.max(1);
+        let mut last_route_err = None;
+        for attempt in 0..attempts {
+            // Grow the grid every eighth attempt (4/3 linear each step),
+            // capped so the factor arithmetic cannot overflow however large
+            // the caller sets `max_placement_attempts`.
+            let growth = (attempt / 8).min(8);
+            let side = |s: u32| {
+                let grown = u64::from(s) * 4u64.pow(growth) / 3u64.pow(growth);
+                (grown.min(u64::from(u32::MAX)) as u32).max(s)
+            };
+            let grid = GridSpec::new(
+                side(base_grid.width),
+                side(base_grid.height),
+                base_grid.pitch_mm,
+            );
+
+            let placement = match cfg.placement {
+                PlacementStrategy::SimulatedAnnealing => {
+                    let sa = SaConfig {
+                        seed: cfg.sa.seed.wrapping_add(u64::from(attempt)),
+                        ..cfg.sa
+                    };
+                    place_sa(components, &netlist, grid, &sa)?
+                }
+                PlacementStrategy::Constructive => place_constructive(components, &netlist, grid)?,
+                PlacementStrategy::ForceDirected => {
+                    place_force_directed(components, &netlist, grid)?
+                }
+            };
+
+            let routed = match cfg.routing {
+                RoutingStrategy::ConflictAware => {
+                    route_dcsa(&schedule, graph, &placement, wash, &cfg.router)
+                }
+                RoutingStrategy::ConstructionByCorrection => {
+                    route_corrected(&schedule, graph, &placement, wash, &cfg.router)
+                }
+            };
+            match routed {
+                Ok(mut routing) => {
+                    if cfg.optimize_channels {
+                        routing = optimize_channel_length(
+                            &routing,
+                            &schedule,
+                            graph,
+                            &placement,
+                            wash,
+                            &cfg.router,
+                        );
+                    }
+                    return Ok(Solution {
+                        schedule,
+                        netlist,
+                        placement,
+                        routing,
+                        attempts: attempt + 1,
+                    });
+                }
+                Err(e) => last_route_err = Some(e),
+            }
+        }
+        Err(SynthesisError::Route {
+            last: last_route_err.expect("at least one attempt"),
+            attempts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wash() -> LogLinearWash {
+        LogLinearWash::paper_calibrated()
+    }
+
+    fn tiny() -> (SequencingGraph, ComponentSet) {
+        let mut b = SequencingGraph::builder();
+        let d = DiffusionCoefficient::PROTEIN;
+        let m0 = b.operation(OperationKind::Mix, Duration::from_secs(5), d);
+        let m1 = b.operation(OperationKind::Mix, Duration::from_secs(5), d);
+        let m2 = b.operation(OperationKind::Mix, Duration::from_secs(4), d);
+        let dt = b.operation(OperationKind::Detect, Duration::from_secs(3), d);
+        b.edge(m0, m2).unwrap();
+        b.edge(m1, m2).unwrap();
+        b.edge(m2, dt).unwrap();
+        let g = b.build().unwrap();
+        let comps = Allocation::new(2, 0, 0, 1).instantiate(&ComponentLibrary::default());
+        (g, comps)
+    }
+
+    #[test]
+    fn paper_flow_produces_verified_solution() {
+        let (g, comps) = tiny();
+        let s = Synthesizer::paper_dcsa()
+            .synthesize(&g, &comps, &wash())
+            .unwrap();
+        let report = s.verify(&g, &comps, &wash());
+        assert!(report.is_valid(), "{:?}", report.violations);
+        assert_eq!(s.routing.completion(), s.schedule.completion_time());
+        assert!(s.attempts >= 1);
+    }
+
+    #[test]
+    fn baseline_flow_produces_verified_solution() {
+        let (g, comps) = tiny();
+        let s = Synthesizer::paper_baseline()
+            .synthesize(&g, &comps, &wash())
+            .unwrap();
+        let report = s.verify(&g, &comps, &wash());
+        assert!(report.is_valid(), "{:?}", report.violations);
+        assert!(s.routing.completion() >= s.schedule.completion_time());
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let (g, comps) = tiny();
+        let a = Synthesizer::paper_dcsa()
+            .synthesize(&g, &comps, &wash())
+            .unwrap();
+        let b = Synthesizer::paper_dcsa()
+            .synthesize(&g, &comps, &wash())
+            .unwrap();
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.placement, b.placement);
+        assert_eq!(a.routing, b.routing);
+    }
+
+    #[test]
+    fn missing_component_kind_fails_cleanly() {
+        let mut b = SequencingGraph::builder();
+        b.operation(
+            OperationKind::Filter,
+            Duration::from_secs(2),
+            DiffusionCoefficient::PROTEIN,
+        );
+        let g = b.build().unwrap();
+        let comps = Allocation::new(1, 0, 0, 0).instantiate(&ComponentLibrary::default());
+        let err = Synthesizer::paper_dcsa()
+            .synthesize(&g, &comps, &wash())
+            .unwrap_err();
+        assert!(matches!(err, SynthesisError::Sched(_)));
+    }
+
+    #[test]
+    fn explicit_grid_is_respected() {
+        let (g, comps) = tiny();
+        let mut cfg = SynthesisConfig::paper_dcsa();
+        cfg.grid = Some(GridSpec::new(30, 20, 10.0));
+        let s = Synthesizer::new(cfg)
+            .synthesize(&g, &comps, &wash())
+            .unwrap();
+        assert_eq!(s.placement.grid().width, 30);
+        assert_eq!(s.placement.grid().height, 20);
+    }
+}

@@ -1,0 +1,232 @@
+//! Ours-vs-baseline comparison machinery and the text renditions of the
+//! paper's Table I, Fig. 8 and Fig. 9.
+
+use crate::error::SynthesisError;
+use crate::flow::Synthesizer;
+use crate::metrics::SolutionMetrics;
+use mfb_model::prelude::*;
+use std::fmt::Write as _;
+use std::time::Instant as WallInstant;
+
+/// One benchmark's results under both flows — one row of Table I plus the
+/// matching bars of Fig. 8 and Fig. 9.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Number of operations (Table I column 2).
+    pub operations: usize,
+    /// Allocated components (Table I column 3).
+    pub allocation: Allocation,
+    /// Metrics under the paper's flow.
+    pub ours: SolutionMetrics,
+    /// Metrics under the baseline.
+    pub baseline: SolutionMetrics,
+    /// Wall-clock synthesis time of the paper's flow.
+    pub ours_cpu: std::time::Duration,
+    /// Wall-clock synthesis time of the baseline.
+    pub baseline_cpu: std::time::Duration,
+}
+
+impl ComparisonRow {
+    /// Runs both flows on `(graph, allocation)` and collects the row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first stage error from either flow.
+    pub fn compare(
+        name: impl Into<String>,
+        graph: &SequencingGraph,
+        allocation: Allocation,
+        library: &ComponentLibrary,
+        wash: &dyn WashModel,
+    ) -> Result<ComparisonRow, SynthesisError> {
+        let components = allocation.instantiate(library);
+
+        let t0 = WallInstant::now();
+        let ours_sol = Synthesizer::paper_dcsa().synthesize(graph, &components, wash)?;
+        let ours_cpu = t0.elapsed();
+
+        let t1 = WallInstant::now();
+        let ba_sol = Synthesizer::paper_baseline().synthesize(graph, &components, wash)?;
+        let baseline_cpu = t1.elapsed();
+
+        Ok(ComparisonRow {
+            name: name.into(),
+            operations: graph.len(),
+            allocation,
+            ours: SolutionMetrics::of(&ours_sol, &components),
+            baseline: SolutionMetrics::of(&ba_sol, &components),
+            ours_cpu,
+            baseline_cpu,
+        })
+    }
+
+    /// Relative improvement of ours over the baseline for a
+    /// smaller-is-better quantity, in percent (positive = ours better).
+    fn imp_smaller(ours: f64, ba: f64) -> f64 {
+        if ba == 0.0 {
+            0.0
+        } else {
+            (ba - ours) / ba * 100.0
+        }
+    }
+
+    /// Execution-time improvement, percent.
+    pub fn execution_improvement_pct(&self) -> f64 {
+        Self::imp_smaller(
+            self.ours.execution_time.as_secs_f64(),
+            self.baseline.execution_time.as_secs_f64(),
+        )
+    }
+
+    /// Resource-utilization improvement, percent (larger is better).
+    pub fn utilization_improvement_pct(&self) -> f64 {
+        if self.baseline.utilization == 0.0 {
+            0.0
+        } else {
+            (self.ours.utilization - self.baseline.utilization) / self.baseline.utilization * 100.0
+        }
+    }
+
+    /// Channel-length improvement, percent.
+    pub fn channel_improvement_pct(&self) -> f64 {
+        Self::imp_smaller(self.ours.channel_length_mm, self.baseline.channel_length_mm)
+    }
+}
+
+/// Renders rows in the layout of the paper's Table I.
+pub fn table1_text(rows: &[ComparisonRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<11} {:>4} {:>11} | {:>8} {:>8} {:>7} | {:>8} {:>8} {:>7} | {:>9} {:>9} {:>7} | {:>8} {:>8}",
+        "Benchmark", "Ops", "Components",
+        "Ours(s)", "BA(s)", "Imp(%)",
+        "Ours(%)", "BA(%)", "Imp(%)",
+        "Ours(mm)", "BA(mm)", "Imp(%)",
+        "Ours(s)", "BA(s)"
+    );
+    let _ = writeln!(s, "{}", "-".repeat(140));
+    let (mut se, mut su, mut sc) = (0.0, 0.0, 0.0);
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<11} {:>4} {:>11} | {:>8.0} {:>8.0} {:>7.1} | {:>8.1} {:>8.1} {:>7.1} | {:>9.0} {:>9.0} {:>7.1} | {:>8.2} {:>8.2}",
+            r.name,
+            r.operations,
+            r.allocation.to_string(),
+            r.ours.execution_time.as_secs_f64(),
+            r.baseline.execution_time.as_secs_f64(),
+            r.execution_improvement_pct(),
+            r.ours.utilization * 100.0,
+            r.baseline.utilization * 100.0,
+            r.utilization_improvement_pct(),
+            r.ours.channel_length_mm,
+            r.baseline.channel_length_mm,
+            r.channel_improvement_pct(),
+            r.ours_cpu.as_secs_f64(),
+            r.baseline_cpu.as_secs_f64(),
+        );
+        se += r.execution_improvement_pct();
+        su += r.utilization_improvement_pct();
+        sc += r.channel_improvement_pct();
+    }
+    if !rows.is_empty() {
+        let n = rows.len() as f64;
+        let _ = writeln!(s, "{}", "-".repeat(140));
+        let _ = writeln!(
+            s,
+            "{:<28} | {:>26.1} | {:>26.1} | {:>28.1} |",
+            "Average improvement",
+            se / n,
+            su / n,
+            sc / n
+        );
+    }
+    s
+}
+
+/// Renders rows as the Fig. 8 series: total cache time in flow channels.
+pub fn fig8_text(rows: &[ComparisonRow]) -> String {
+    series_text(rows, "Total cache time in flow channels (s)", |m| {
+        m.cache_time.as_secs_f64()
+    })
+}
+
+/// Renders rows as the Fig. 9 series: total wash time of flow channels.
+pub fn fig9_text(rows: &[ComparisonRow]) -> String {
+    series_text(rows, "Total wash time of flow channels (s)", |m| {
+        m.channel_wash_time.as_secs_f64()
+    })
+}
+
+fn series_text(rows: &[ComparisonRow], title: &str, f: impl Fn(&SolutionMetrics) -> f64) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{title}");
+    let _ = writeln!(s, "{:<11} {:>10} {:>10}", "Benchmark", "Ours", "BA");
+    let _ = writeln!(s, "{}", "-".repeat(33));
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<11} {:>10.1} {:>10.1}",
+            r.name,
+            f(&r.ours),
+            f(&r.baseline)
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_row() -> ComparisonRow {
+        let wash = LogLinearWash::paper_calibrated();
+        let mut b = SequencingGraph::builder();
+        let d = DiffusionCoefficient::PROTEIN;
+        let m0 = b.operation(OperationKind::Mix, Duration::from_secs(5), d);
+        let m1 = b.operation(OperationKind::Mix, Duration::from_secs(4), d);
+        b.edge(m0, m1).unwrap();
+        let g = b.build().unwrap();
+        ComparisonRow::compare(
+            "tiny",
+            &g,
+            Allocation::new(2, 0, 0, 0),
+            &ComponentLibrary::default(),
+            &wash,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn comparison_row_collects_both_flows() {
+        let r = tiny_row();
+        assert_eq!(r.operations, 2);
+        // Ours chains in place (9 s); BA spreads and pays t_c (11 s).
+        assert_eq!(r.ours.execution_time, Duration::from_secs(9));
+        assert_eq!(r.baseline.execution_time, Duration::from_secs(11));
+        assert!(r.execution_improvement_pct() > 0.0);
+    }
+
+    #[test]
+    fn tables_render() {
+        let rows = vec![tiny_row()];
+        let t = table1_text(&rows);
+        assert!(t.contains("tiny") && t.contains("Average improvement"));
+        let f8 = fig8_text(&rows);
+        assert!(f8.contains("cache time"));
+        let f9 = fig9_text(&rows);
+        assert!(f9.contains("wash time"));
+    }
+
+    #[test]
+    fn improvements_handle_zero_baseline() {
+        let mut r = tiny_row();
+        r.baseline.channel_length_mm = 0.0;
+        assert_eq!(r.channel_improvement_pct(), 0.0);
+        r.baseline.utilization = 0.0;
+        assert_eq!(r.utilization_improvement_pct(), 0.0);
+    }
+}

@@ -1,0 +1,399 @@
+//! On-chip components: kinds, footprints, allocations and the component set
+//! `C` handed to binding, placement and routing.
+
+use crate::ids::ComponentId;
+use crate::operation::OperationKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of an on-chip component. Each kind executes exactly one
+/// [`OperationKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ComponentKind {
+    /// Rotary mixer.
+    Mixer,
+    /// Heating element.
+    Heater,
+    /// Filtration unit.
+    Filter,
+    /// Optical detector.
+    Detector,
+}
+
+impl ComponentKind {
+    /// All component kinds, in the paper's Table-I `(M, H, F, D)` order.
+    pub const ALL: [ComponentKind; 4] = [
+        ComponentKind::Mixer,
+        ComponentKind::Heater,
+        ComponentKind::Filter,
+        ComponentKind::Detector,
+    ];
+
+    /// The component kind able to execute `op`.
+    pub const fn for_operation(op: OperationKind) -> ComponentKind {
+        match op {
+            OperationKind::Mix => ComponentKind::Mixer,
+            OperationKind::Heat => ComponentKind::Heater,
+            OperationKind::Filter => ComponentKind::Filter,
+            OperationKind::Detect => ComponentKind::Detector,
+        }
+    }
+
+    /// `true` when this component kind can execute operation kind `op`.
+    pub const fn executes(self, op: OperationKind) -> bool {
+        matches!(
+            (self, op),
+            (ComponentKind::Mixer, OperationKind::Mix)
+                | (ComponentKind::Heater, OperationKind::Heat)
+                | (ComponentKind::Filter, OperationKind::Filter)
+                | (ComponentKind::Detector, OperationKind::Detect)
+        )
+    }
+
+    /// Short name (`"mixer"`, `"heater"`, …).
+    pub const fn name(self) -> &'static str {
+        match self {
+            ComponentKind::Mixer => "mixer",
+            ComponentKind::Heater => "heater",
+            ComponentKind::Filter => "filter",
+            ComponentKind::Detector => "detector",
+        }
+    }
+}
+
+impl fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Rectangular footprint of a component on the placement grid, in cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Footprint {
+    /// Width in grid cells (> 0).
+    pub width: u32,
+    /// Height in grid cells (> 0).
+    pub height: u32,
+}
+
+impl Footprint {
+    /// Creates a footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(
+            width > 0 && height > 0,
+            "footprint dimensions must be positive"
+        );
+        Footprint { width, height }
+    }
+
+    /// Footprint area in cells.
+    #[inline]
+    pub const fn area(self) -> u64 {
+        self.width as u64 * self.height as u64
+    }
+
+    /// The footprint rotated by 90°.
+    #[inline]
+    pub const fn rotated(self) -> Footprint {
+        Footprint {
+            width: self.height,
+            height: self.width,
+        }
+    }
+}
+
+impl fmt::Display for Footprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.width, self.height)
+    }
+}
+
+/// Physical and geometric parameters of each component kind.
+///
+/// The default library uses footprints representative of published FBMB
+/// layouts: mixers are the largest structures (a rotary loop plus its pump
+/// valves), detectors the smallest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComponentLibrary {
+    footprints: [Footprint; 4],
+}
+
+impl ComponentLibrary {
+    /// Creates a library with explicit footprints, indexed in
+    /// `(Mixer, Heater, Filter, Detector)` order.
+    pub fn new(footprints: [Footprint; 4]) -> Self {
+        ComponentLibrary { footprints }
+    }
+
+    /// Footprint of components of `kind`.
+    #[inline]
+    pub fn footprint(&self, kind: ComponentKind) -> Footprint {
+        self.footprints[kind as usize]
+    }
+}
+
+impl Default for ComponentLibrary {
+    fn default() -> Self {
+        ComponentLibrary {
+            footprints: [
+                Footprint::new(4, 3), // mixer: rotary loop + pump valves
+                Footprint::new(3, 2), // heater
+                Footprint::new(3, 2), // filter
+                Footprint::new(2, 2), // detector
+            ],
+        }
+    }
+}
+
+/// How many components of each kind are allocated for an assay — the paper's
+/// Table-I column-3 vector `(Mixers, Heaters, Filters, Detectors)`.
+///
+/// # Examples
+///
+/// ```
+/// use mfb_model::component::{Allocation, ComponentKind};
+///
+/// let a = Allocation::new(3, 0, 0, 2); // IVD: 3 mixers, 2 detectors
+/// assert_eq!(a.count(ComponentKind::Mixer), 3);
+/// assert_eq!(a.total(), 5);
+/// assert_eq!(a.to_string(), "(3,0,0,2)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Allocation {
+    counts: [u32; 4],
+}
+
+impl Allocation {
+    /// Creates an allocation from per-kind counts in `(M, H, F, D)` order.
+    pub const fn new(mixers: u32, heaters: u32, filters: u32, detectors: u32) -> Self {
+        Allocation {
+            counts: [mixers, heaters, filters, detectors],
+        }
+    }
+
+    /// Number of components of `kind`.
+    #[inline]
+    pub const fn count(&self, kind: ComponentKind) -> u32 {
+        self.counts[kind as usize]
+    }
+
+    /// Total number of allocated components `|C|`.
+    pub fn total(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+
+    /// Instantiates the allocation into a concrete component set, assigning
+    /// dense [`ComponentId`]s kind-major (all mixers first, then heaters, …).
+    pub fn instantiate(&self, library: &ComponentLibrary) -> ComponentSet {
+        let mut components = Vec::with_capacity(self.total() as usize);
+        for kind in ComponentKind::ALL {
+            for _ in 0..self.count(kind) {
+                let id = ComponentId::new(components.len() as u32);
+                components.push(Component {
+                    id,
+                    kind,
+                    footprint: library.footprint(kind),
+                });
+            }
+        }
+        ComponentSet { components }
+    }
+}
+
+impl fmt::Display for Allocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({},{},{},{})",
+            self.counts[0], self.counts[1], self.counts[2], self.counts[3]
+        )
+    }
+}
+
+/// One allocated on-chip component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Component {
+    id: ComponentId,
+    kind: ComponentKind,
+    footprint: Footprint,
+}
+
+impl Component {
+    /// The component's identifier.
+    #[inline]
+    pub fn id(&self) -> ComponentId {
+        self.id
+    }
+
+    /// The component's kind.
+    #[inline]
+    pub fn kind(&self) -> ComponentKind {
+        self.kind
+    }
+
+    /// The component's placement footprint.
+    #[inline]
+    pub fn footprint(&self) -> Footprint {
+        self.footprint
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.id, self.kind)
+    }
+}
+
+/// The set `C` of allocated components handed to binding, placement and
+/// routing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComponentSet {
+    components: Vec<Component>,
+}
+
+impl ComponentSet {
+    /// Number of components `|C|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// `true` when no components are allocated.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// The component with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this set.
+    #[inline]
+    pub fn component(&self, id: ComponentId) -> &Component {
+        &self.components[id.index()]
+    }
+
+    /// All components, in id order.
+    #[inline]
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &Component> {
+        self.components.iter()
+    }
+
+    /// All component ids, in id order.
+    pub fn ids(&self) -> impl ExactSizeIterator<Item = ComponentId> + '_ {
+        (0..self.components.len() as u32).map(ComponentId::new)
+    }
+
+    /// Ids of all components of the given kind.
+    pub fn of_kind(&self, kind: ComponentKind) -> impl Iterator<Item = ComponentId> + '_ {
+        self.components
+            .iter()
+            .filter(move |c| c.kind == kind)
+            .map(|c| c.id)
+    }
+
+    /// `true` when the set contains at least one component able to execute
+    /// each operation kind in `kinds`.
+    pub fn covers(&self, kinds: impl IntoIterator<Item = OperationKind>) -> bool {
+        kinds.into_iter().all(|k| {
+            self.of_kind(ComponentKind::for_operation(k))
+                .next()
+                .is_some()
+        })
+    }
+}
+
+impl<'a> IntoIterator for &'a ComponentSet {
+    type Item = &'a Component;
+    type IntoIter = std::slice::Iter<'a, Component>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.components.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_operation_mapping() {
+        for op in OperationKind::ALL {
+            let ck = ComponentKind::for_operation(op);
+            assert!(ck.executes(op));
+            for other in OperationKind::ALL {
+                if other != op {
+                    assert!(!ck.executes(other));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn footprint_area_and_rotation() {
+        let fp = Footprint::new(4, 3);
+        assert_eq!(fp.area(), 12);
+        assert_eq!(fp.rotated(), Footprint::new(3, 4));
+        assert_eq!(fp.rotated().rotated(), fp);
+        assert_eq!(fp.to_string(), "4x3");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn footprint_rejects_zero() {
+        Footprint::new(0, 2);
+    }
+
+    #[test]
+    fn allocation_instantiates_kind_major() {
+        let alloc = Allocation::new(2, 1, 0, 1);
+        assert_eq!(alloc.total(), 4);
+        let set = alloc.instantiate(&ComponentLibrary::default());
+        assert_eq!(set.len(), 4);
+        assert_eq!(
+            set.component(ComponentId::new(0)).kind(),
+            ComponentKind::Mixer
+        );
+        assert_eq!(
+            set.component(ComponentId::new(1)).kind(),
+            ComponentKind::Mixer
+        );
+        assert_eq!(
+            set.component(ComponentId::new(2)).kind(),
+            ComponentKind::Heater
+        );
+        assert_eq!(
+            set.component(ComponentId::new(3)).kind(),
+            ComponentKind::Detector
+        );
+        assert_eq!(set.of_kind(ComponentKind::Mixer).count(), 2);
+        assert_eq!(set.of_kind(ComponentKind::Filter).count(), 0);
+    }
+
+    #[test]
+    fn coverage_check() {
+        let set = Allocation::new(1, 0, 0, 1).instantiate(&ComponentLibrary::default());
+        assert!(set.covers([OperationKind::Mix, OperationKind::Detect]));
+        assert!(!set.covers([OperationKind::Heat]));
+    }
+
+    #[test]
+    fn allocation_display_matches_paper_format() {
+        assert_eq!(Allocation::new(8, 0, 0, 2).to_string(), "(8,0,0,2)");
+    }
+
+    #[test]
+    fn component_set_iteration_orders_by_id() {
+        let set = Allocation::new(1, 1, 1, 1).instantiate(&ComponentLibrary::default());
+        let ids: Vec<_> = set.ids().collect();
+        assert_eq!(ids.len(), 4);
+        for (i, c) in set.iter().enumerate() {
+            assert_eq!(c.id().index(), i);
+        }
+        assert_eq!(set.component(ids[0]).to_string(), "c0:mixer");
+    }
+}

@@ -1,0 +1,231 @@
+//! Concentration tracking through a sequencing graph.
+//!
+//! Dilution assays (the CPA benchmark, serial and interpolated dilution
+//! ladders) exist to produce *specific concentrations* of an analyte. This
+//! module propagates concentrations through a bioassay under the standard
+//! 1:1 mixing model:
+//!
+//! * a **mix** operation outputs the mean of its input concentrations
+//!   (equal-volume merge); inputs that are not produced on-chip contribute
+//!   the concentration assigned to the operation via
+//!   [`ConcentrationMap::source`] (default: pure buffer, `0.0`);
+//! * **heat**, **filter** and **detect** pass their (single) input through
+//!   unchanged; a filter can optionally attenuate by a retention factor.
+//!
+//! The profile lets tests pin the chemistry of the benchmark
+//! reconstructions — e.g. a serial dilution ladder must halve at every
+//! rung — and lets assay designers read the concentration each detector
+//! ultimately sees.
+
+use crate::graph::SequencingGraph;
+use crate::ids::OpId;
+use crate::operation::OperationKind;
+use std::collections::HashMap;
+
+/// Input concentrations for a concentration analysis.
+///
+/// Concentrations are relative (typically `1.0` = the undiluted stock).
+#[derive(Debug, Clone, Default)]
+pub struct ConcentrationMap {
+    /// Extra off-chip inflow per operation: `(concentration, parts)` —
+    /// e.g. a dilution mix has one on-chip parent plus one part of buffer.
+    sources: HashMap<OpId, (f64, f64)>,
+    /// Retention factor applied by filter operations (1.0 = no loss).
+    filter_retention: f64,
+}
+
+impl ConcentrationMap {
+    /// An empty map: every operation's off-chip inputs are pure buffer and
+    /// filters retain everything.
+    pub fn new() -> Self {
+        ConcentrationMap {
+            sources: HashMap::new(),
+            filter_retention: 1.0,
+        }
+    }
+
+    /// Declares that operation `op` additionally draws `parts` volume parts
+    /// of an off-chip fluid at `concentration`. A source mix with no
+    /// on-chip parents takes its whole volume from here.
+    pub fn source(mut self, op: OpId, concentration: f64, parts: f64) -> Self {
+        assert!(
+            concentration >= 0.0 && parts > 0.0,
+            "concentration must be non-negative and parts positive"
+        );
+        self.sources.insert(op, (concentration, parts));
+        self
+    }
+
+    /// Sets the fraction of analyte a filter retains (default 1.0).
+    pub fn filter_retention(mut self, retention: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&retention),
+            "retention must be in [0, 1]"
+        );
+        self.filter_retention = retention;
+        self
+    }
+
+    /// Propagates concentrations through `graph`; returns the output
+    /// concentration of each operation, indexed by `OpId`.
+    ///
+    /// Mixing model: each on-chip parent contributes one volume part; the
+    /// declared off-chip source contributes its `parts`. Operations with
+    /// neither (a source with no declaration) output buffer (`0.0`).
+    pub fn profile(&self, graph: &SequencingGraph) -> Vec<f64> {
+        let mut conc = vec![0.0f64; graph.len()];
+        for &o in graph.topological_order() {
+            let parents = graph.parents(o);
+            let kind = graph.op(o).kind();
+            conc[o.index()] = match kind {
+                OperationKind::Mix => {
+                    let mut mass = 0.0;
+                    let mut volume = 0.0;
+                    for &p in parents {
+                        mass += conc[p.index()];
+                        volume += 1.0;
+                    }
+                    if let Some(&(c, parts)) = self.sources.get(&o) {
+                        mass += c * parts;
+                        volume += parts;
+                    }
+                    if volume == 0.0 {
+                        0.0
+                    } else {
+                        mass / volume
+                    }
+                }
+                OperationKind::Filter => {
+                    let input = parents.first().map_or(0.0, |&p| conc[p.index()]);
+                    input * self.filter_retention
+                }
+                OperationKind::Heat | OperationKind::Detect => {
+                    parents.first().map_or(0.0, |&p| conc[p.index()])
+                }
+            };
+        }
+        conc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fluid::DiffusionCoefficient;
+    use crate::time::Duration;
+
+    fn d() -> DiffusionCoefficient {
+        DiffusionCoefficient::PROTEIN
+    }
+
+    #[test]
+    fn serial_dilution_halves_per_rung() {
+        // stock -> mix(buffer) -> mix(buffer) -> ...
+        let mut b = SequencingGraph::builder();
+        let mut ops = Vec::new();
+        let mut prev: Option<OpId> = None;
+        for _ in 0..5 {
+            let op = b.operation(OperationKind::Mix, Duration::from_secs(5), d());
+            if let Some(p) = prev {
+                b.edge(p, op).unwrap();
+            }
+            ops.push(op);
+            prev = Some(op);
+        }
+        let g = b.build().unwrap();
+        // The head draws pure stock; every later rung adds 1 part buffer.
+        let mut map = ConcentrationMap::new().source(ops[0], 1.0, 1.0);
+        for &op in &ops[1..] {
+            map = map.source(op, 0.0, 1.0);
+        }
+        let conc = map.profile(&g);
+        for (k, &op) in ops.iter().enumerate() {
+            // rung 0: (1*1)/1 = 1; rung k: previous halved.
+            let expected = 0.5f64.powi(k as i32);
+            assert!(
+                (conc[op.index()] - expected).abs() < 1e-12,
+                "rung {k}: {} vs {expected}",
+                conc[op.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn interpolation_averages_neighbours() {
+        let mut b = SequencingGraph::builder();
+        let hi = b.operation(OperationKind::Mix, Duration::from_secs(5), d());
+        let lo = b.operation(OperationKind::Mix, Duration::from_secs(5), d());
+        let mid = b.operation(OperationKind::Mix, Duration::from_secs(5), d());
+        b.edge(hi, mid).unwrap();
+        b.edge(lo, mid).unwrap();
+        let g = b.build().unwrap();
+        let conc = ConcentrationMap::new()
+            .source(hi, 1.0, 1.0)
+            .source(lo, 0.2, 1.0)
+            .profile(&g);
+        assert!((conc[mid.index()] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn passthrough_kinds_do_not_dilute() {
+        let mut b = SequencingGraph::builder();
+        let m = b.operation(OperationKind::Mix, Duration::from_secs(5), d());
+        let h = b.operation(OperationKind::Heat, Duration::from_secs(2), d());
+        let det = b.operation(OperationKind::Detect, Duration::from_secs(2), d());
+        b.chain(&[m, h, det]).unwrap();
+        let g = b.build().unwrap();
+        let conc = ConcentrationMap::new().source(m, 0.8, 1.0).profile(&g);
+        assert_eq!(conc[h.index()], 0.8);
+        assert_eq!(conc[det.index()], 0.8);
+    }
+
+    #[test]
+    fn filters_attenuate_by_retention() {
+        let mut b = SequencingGraph::builder();
+        let m = b.operation(OperationKind::Mix, Duration::from_secs(5), d());
+        let f = b.operation(OperationKind::Filter, Duration::from_secs(3), d());
+        b.edge(m, f).unwrap();
+        let g = b.build().unwrap();
+        let conc = ConcentrationMap::new()
+            .source(m, 1.0, 1.0)
+            .filter_retention(0.25)
+            .profile(&g);
+        assert!((conc[f.index()] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undeclared_sources_are_buffer() {
+        let mut b = SequencingGraph::builder();
+        let m = b.operation(OperationKind::Mix, Duration::from_secs(5), d());
+        let g = b.build().unwrap();
+        let conc = ConcentrationMap::new().profile(&g);
+        assert_eq!(conc[m.index()], 0.0);
+    }
+
+    #[test]
+    fn uneven_parts_weight_the_mean() {
+        // 1 part stock at 1.0 + 3 parts buffer = 0.25.
+        let mut b = SequencingGraph::builder();
+        let m = b.operation(OperationKind::Mix, Duration::from_secs(5), d());
+        let g = b.build().unwrap();
+        let conc = ConcentrationMap::new().source(m, 0.0, 3.0).profile(&g);
+        assert_eq!(conc[m.index()], 0.0, "buffer only");
+
+        let mut b = SequencingGraph::builder();
+        let stock = b.operation(OperationKind::Mix, Duration::from_secs(5), d());
+        let dilute = b.operation(OperationKind::Mix, Duration::from_secs(5), d());
+        b.edge(stock, dilute).unwrap();
+        let g = b.build().unwrap();
+        let conc = ConcentrationMap::new()
+            .source(stock, 1.0, 1.0)
+            .source(dilute, 0.0, 3.0)
+            .profile(&g);
+        assert!((conc[dilute.index()] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "retention")]
+    fn rejects_bad_retention() {
+        ConcentrationMap::new().filter_retention(1.5);
+    }
+}

@@ -1,0 +1,162 @@
+//! Fluids and their diffusion coefficients.
+//!
+//! In a flow-based biochip every operation produces an output fluid that later
+//! contaminates whatever component or channel it touched. The cost of removing
+//! that contamination (the *wash time*) is dominated by the contaminant's
+//! **diffusion coefficient** — see the paper's §II-B and Hu et al., TCAD'16:
+//! small molecules diffuse fast and wash out in fractions of a second, while
+//! large particles such as virus capsids diffuse slowly and take many seconds
+//! of buffer flushing.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A diffusion coefficient in cm²/s.
+///
+/// The value is guaranteed finite and strictly positive. Biologically
+/// plausible values span roughly `1e-9` (large particles) to `1e-5`
+/// (small molecules) cm²/s; constructors accept anything positive so the
+/// library stays usable for exotic chemistries.
+///
+/// `DiffusionCoefficient` implements a *total* order (positive finite floats
+/// order totally), so fluids can be ranked by how hard they are to wash —
+/// the paper's Case-I binding rule picks the parent fluid with the **lowest**
+/// coefficient.
+///
+/// # Examples
+///
+/// ```
+/// use mfb_model::fluid::DiffusionCoefficient;
+///
+/// let lysis_buffer = DiffusionCoefficient::new(1e-5).unwrap();
+/// let virus = DiffusionCoefficient::new(5e-8).unwrap();
+/// assert!(virus < lysis_buffer);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct DiffusionCoefficient(f64);
+
+impl DiffusionCoefficient {
+    /// Typical coefficient of a small-molecule buffer (e.g. a lysis buffer),
+    /// `1e-5` cm²/s — washes out in ~0.2 s.
+    pub const SMALL_MOLECULE: DiffusionCoefficient = DiffusionCoefficient(1e-5);
+
+    /// Typical coefficient of a mid-size protein, `5e-7` cm²/s.
+    pub const PROTEIN: DiffusionCoefficient = DiffusionCoefficient(5e-7);
+
+    /// Typical coefficient of a large particle (e.g. tobacco mosaic virus),
+    /// `5e-8` cm²/s — needs ~6 s of washing.
+    pub const VIRUS: DiffusionCoefficient = DiffusionCoefficient(5e-8);
+
+    /// Creates a diffusion coefficient, rejecting non-finite or non-positive
+    /// values.
+    pub fn new(cm2_per_s: f64) -> Result<Self, InvalidDiffusion> {
+        if cm2_per_s.is_finite() && cm2_per_s > 0.0 {
+            Ok(DiffusionCoefficient(cm2_per_s))
+        } else {
+            Err(InvalidDiffusion { value: cm2_per_s })
+        }
+    }
+
+    /// The coefficient in cm²/s.
+    #[inline]
+    pub const fn cm2_per_s(self) -> f64 {
+        self.0
+    }
+
+    /// Base-10 logarithm of the coefficient; the natural axis for wash-time
+    /// models.
+    #[inline]
+    pub fn log10(self) -> f64 {
+        self.0.log10()
+    }
+}
+
+impl Eq for DiffusionCoefficient {}
+
+impl PartialOrd for DiffusionCoefficient {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DiffusionCoefficient {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Values are finite and positive by construction, so `total_cmp`
+        // agrees with the usual numeric order.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl fmt::Display for DiffusionCoefficient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2e} cm²/s", self.0)
+    }
+}
+
+/// Error returned by [`DiffusionCoefficient::new`] for invalid values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidDiffusion {
+    /// The rejected value.
+    pub value: f64,
+}
+
+impl fmt::Display for InvalidDiffusion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "diffusion coefficient must be finite and positive, got {}",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for InvalidDiffusion {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_positive_finite() {
+        let d = DiffusionCoefficient::new(3.2e-6).unwrap();
+        assert_eq!(d.cm2_per_s(), 3.2e-6);
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(DiffusionCoefficient::new(0.0).is_err());
+        assert!(DiffusionCoefficient::new(-1e-6).is_err());
+        assert!(DiffusionCoefficient::new(f64::NAN).is_err());
+        assert!(DiffusionCoefficient::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn orders_numerically() {
+        assert!(DiffusionCoefficient::VIRUS < DiffusionCoefficient::PROTEIN);
+        assert!(DiffusionCoefficient::PROTEIN < DiffusionCoefficient::SMALL_MOLECULE);
+        let mut v = [
+            DiffusionCoefficient::SMALL_MOLECULE,
+            DiffusionCoefficient::VIRUS,
+            DiffusionCoefficient::PROTEIN,
+        ];
+        v.sort();
+        assert_eq!(v[0], DiffusionCoefficient::VIRUS);
+        assert_eq!(v[2], DiffusionCoefficient::SMALL_MOLECULE);
+    }
+
+    #[test]
+    fn log10_matches() {
+        let d = DiffusionCoefficient::new(1e-5).unwrap();
+        assert!((d.log10() + 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_display() {
+        let err = DiffusionCoefficient::new(-1.0).unwrap_err();
+        assert!(err.to_string().contains("-1"));
+    }
+}

@@ -1,0 +1,327 @@
+//! Grid geometry shared by placement and routing.
+//!
+//! The paper partitions the routing plane into an array of rectangular cells
+//! (§IV-B.2, Fig. 4); components occupy rectangles of cells and flow channels
+//! are paths of cells. This module provides the cell coordinate system,
+//! rectangles, and the chip grid specification (dimensions plus the physical
+//! pitch used to convert cell counts into millimetres of channel).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Position of one grid cell (column `x`, row `y`), zero-based from the
+/// chip's lower-left corner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CellPos {
+    /// Column index.
+    pub x: u32,
+    /// Row index.
+    pub y: u32,
+}
+
+impl CellPos {
+    /// Creates a cell position.
+    #[inline]
+    pub const fn new(x: u32, y: u32) -> Self {
+        CellPos { x, y }
+    }
+
+    /// Manhattan distance to `other`, in cells.
+    #[inline]
+    pub fn manhattan(self, other: CellPos) -> u32 {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+
+    /// The four edge-adjacent neighbours that stay inside a
+    /// `width` × `height` grid.
+    pub fn neighbours(self, width: u32, height: u32) -> impl Iterator<Item = CellPos> {
+        let CellPos { x, y } = self;
+        [
+            (x > 0).then(|| CellPos::new(x - 1, y)),
+            (x + 1 < width).then(|| CellPos::new(x + 1, y)),
+            (y > 0).then(|| CellPos::new(x, y - 1)),
+            (y + 1 < height).then(|| CellPos::new(x, y + 1)),
+        ]
+        .into_iter()
+        .flatten()
+    }
+}
+
+impl fmt::Display for CellPos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// An axis-aligned rectangle of grid cells: origin `(x, y)` (lower-left) and
+/// extent `width` × `height`, both at least 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CellRect {
+    /// Lower-left corner.
+    pub origin: CellPos,
+    /// Width in cells.
+    pub width: u32,
+    /// Height in cells.
+    pub height: u32,
+}
+
+impl CellRect {
+    /// Creates a rectangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either extent is zero.
+    pub fn new(origin: CellPos, width: u32, height: u32) -> Self {
+        assert!(
+            width > 0 && height > 0,
+            "rectangle extents must be positive"
+        );
+        CellRect {
+            origin,
+            width,
+            height,
+        }
+    }
+
+    /// Exclusive upper-right corner `(origin.x + width, origin.y + height)`.
+    #[inline]
+    pub const fn upper_right(self) -> (u32, u32) {
+        (self.origin.x + self.width, self.origin.y + self.height)
+    }
+
+    /// `true` when `pos` lies inside the rectangle.
+    #[inline]
+    pub const fn contains(self, pos: CellPos) -> bool {
+        pos.x >= self.origin.x
+            && pos.y >= self.origin.y
+            && pos.x < self.origin.x + self.width
+            && pos.y < self.origin.y + self.height
+    }
+
+    /// `true` when `self` and `other` share at least one cell.
+    pub const fn intersects(self, other: CellRect) -> bool {
+        let (ax2, ay2) = self.upper_right();
+        let (bx2, by2) = other.upper_right();
+        self.origin.x < bx2 && other.origin.x < ax2 && self.origin.y < by2 && other.origin.y < ay2
+    }
+
+    /// `self` grown by `margin` cells on every side (clamped at the grid
+    /// origin). Used to enforce routing clearance between components.
+    pub fn inflated(self, margin: u32) -> CellRect {
+        let x = self.origin.x.saturating_sub(margin);
+        let y = self.origin.y.saturating_sub(margin);
+        CellRect {
+            origin: CellPos::new(x, y),
+            width: self.width + (self.origin.x - x) + margin,
+            height: self.height + (self.origin.y - y) + margin,
+        }
+    }
+
+    /// Iterates over every cell in the rectangle, row-major.
+    pub fn cells(self) -> impl Iterator<Item = CellPos> {
+        let CellRect {
+            origin,
+            width,
+            height,
+        } = self;
+        (origin.y..origin.y + height)
+            .flat_map(move |y| (origin.x..origin.x + width).map(move |x| CellPos::new(x, y)))
+    }
+
+    /// Number of cells in the rectangle.
+    #[inline]
+    pub const fn area(self) -> u64 {
+        self.width as u64 * self.height as u64
+    }
+
+    /// The centre of the rectangle, rounded down to a cell.
+    #[inline]
+    pub const fn center(self) -> CellPos {
+        CellPos::new(
+            self.origin.x + self.width / 2,
+            self.origin.y + self.height / 2,
+        )
+    }
+}
+
+impl fmt::Display for CellRect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}+{}x{}]", self.origin, self.width, self.height)
+    }
+}
+
+/// The chip grid: cell-array dimensions plus the physical pitch of one cell.
+///
+/// `pitch_mm` converts cell counts into millimetres of flow channel for the
+/// paper's *total channel length* metric (Table I reports hundreds to
+/// thousands of millimetres; the default 10 mm pitch reproduces that scale).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridSpec {
+    /// Grid width in cells.
+    pub width: u32,
+    /// Grid height in cells.
+    pub height: u32,
+    /// Physical edge length of one cell, in millimetres.
+    pub pitch_mm: f64,
+}
+
+impl GridSpec {
+    /// Default physical cell pitch, millimetres.
+    pub const DEFAULT_PITCH_MM: f64 = 10.0;
+
+    /// Creates a grid specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the pitch is not positive and
+    /// finite.
+    pub fn new(width: u32, height: u32, pitch_mm: f64) -> Self {
+        assert!(width > 0 && height > 0, "grid dimensions must be positive");
+        assert!(
+            pitch_mm.is_finite() && pitch_mm > 0.0,
+            "cell pitch must be positive and finite"
+        );
+        GridSpec {
+            width,
+            height,
+            pitch_mm,
+        }
+    }
+
+    /// A square grid with the default pitch.
+    pub fn square(side: u32) -> Self {
+        GridSpec::new(side, side, Self::DEFAULT_PITCH_MM)
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub const fn cell_count(&self) -> u64 {
+        self.width as u64 * self.height as u64
+    }
+
+    /// `true` when `pos` lies on the grid.
+    #[inline]
+    pub const fn contains(&self, pos: CellPos) -> bool {
+        pos.x < self.width && pos.y < self.height
+    }
+
+    /// `true` when `rect` lies entirely on the grid.
+    pub const fn contains_rect(&self, rect: CellRect) -> bool {
+        let (x2, y2) = rect.upper_right();
+        x2 <= self.width && y2 <= self.height
+    }
+
+    /// Dense row-major index of `pos`, for `Vec`-backed cell tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `pos` is off-grid.
+    #[inline]
+    pub fn index(&self, pos: CellPos) -> usize {
+        debug_assert!(
+            self.contains(pos),
+            "cell {pos} outside {}x{} grid",
+            self.width,
+            self.height
+        );
+        pos.y as usize * self.width as usize + pos.x as usize
+    }
+
+    /// Converts a cell count into millimetres of channel.
+    #[inline]
+    pub fn cells_to_mm(&self, cells: u64) -> f64 {
+        cells as f64 * self.pitch_mm
+    }
+}
+
+impl fmt::Display for GridSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} cells @ {} mm",
+            self.width, self.height, self.pitch_mm
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance() {
+        assert_eq!(CellPos::new(1, 2).manhattan(CellPos::new(4, 0)), 5);
+        assert_eq!(CellPos::new(3, 3).manhattan(CellPos::new(3, 3)), 0);
+    }
+
+    #[test]
+    fn neighbours_respect_bounds() {
+        let corner: Vec<_> = CellPos::new(0, 0).neighbours(3, 3).collect();
+        assert_eq!(corner, vec![CellPos::new(1, 0), CellPos::new(0, 1)]);
+        let mid: Vec<_> = CellPos::new(1, 1).neighbours(3, 3).collect();
+        assert_eq!(mid.len(), 4);
+        let edge: Vec<_> = CellPos::new(2, 1).neighbours(3, 3).collect();
+        assert_eq!(edge.len(), 3);
+    }
+
+    #[test]
+    fn rect_contains_and_intersects() {
+        let a = CellRect::new(CellPos::new(1, 1), 3, 2);
+        assert!(a.contains(CellPos::new(1, 1)));
+        assert!(a.contains(CellPos::new(3, 2)));
+        assert!(!a.contains(CellPos::new(4, 1)));
+        assert!(!a.contains(CellPos::new(1, 3)));
+
+        let b = CellRect::new(CellPos::new(3, 2), 2, 2);
+        assert!(a.intersects(b)); // share cell (3,2)
+        let c = CellRect::new(CellPos::new(4, 1), 2, 2);
+        assert!(!a.intersects(c)); // touch edges only
+    }
+
+    #[test]
+    fn rect_inflation_clamps_at_origin() {
+        let r = CellRect::new(CellPos::new(0, 1), 2, 2).inflated(1);
+        assert_eq!(r.origin, CellPos::new(0, 0));
+        assert_eq!((r.width, r.height), (3, 4));
+        let r2 = CellRect::new(CellPos::new(2, 2), 2, 2).inflated(1);
+        assert_eq!(r2.origin, CellPos::new(1, 1));
+        assert_eq!((r2.width, r2.height), (4, 4));
+    }
+
+    #[test]
+    fn rect_cells_row_major() {
+        let r = CellRect::new(CellPos::new(1, 1), 2, 2);
+        let cells: Vec<_> = r.cells().collect();
+        assert_eq!(
+            cells,
+            vec![
+                CellPos::new(1, 1),
+                CellPos::new(2, 1),
+                CellPos::new(1, 2),
+                CellPos::new(2, 2)
+            ]
+        );
+        assert_eq!(r.area(), 4);
+        assert_eq!(r.center(), CellPos::new(2, 2));
+    }
+
+    #[test]
+    fn grid_spec_bounds_and_index() {
+        let g = GridSpec::new(4, 3, 10.0);
+        assert_eq!(g.cell_count(), 12);
+        assert!(g.contains(CellPos::new(3, 2)));
+        assert!(!g.contains(CellPos::new(4, 0)));
+        assert!(!g.contains(CellPos::new(0, 3)));
+        assert_eq!(g.index(CellPos::new(0, 0)), 0);
+        assert_eq!(g.index(CellPos::new(3, 2)), 11);
+        assert!(g.contains_rect(CellRect::new(CellPos::new(0, 0), 4, 3)));
+        assert!(!g.contains_rect(CellRect::new(CellPos::new(1, 0), 4, 3)));
+        assert_eq!(g.cells_to_mm(42), 420.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn grid_rejects_zero_dims() {
+        GridSpec::new(0, 3, 10.0);
+    }
+}

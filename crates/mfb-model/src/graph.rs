@@ -1,0 +1,597 @@
+//! Sequencing graphs: the DAG model of a bioassay.
+//!
+//! A bioassay is modelled as a directed acyclic *sequencing graph*
+//! `G(O, E)` (paper §II-C): vertices are fluidic [`Operation`]s, and an edge
+//! `(o_j, o_i)` states that the output fluid of `o_j` is an input of `o_i`.
+//! The graph is the sole workload input of the whole synthesis flow.
+//!
+//! Construction goes through [`SequencingGraphBuilder`], and
+//! [`SequencingGraphBuilder::build`] validates acyclicity, so every
+//! [`SequencingGraph`] in existence is a well-formed DAG — downstream code
+//! (schedulers, routers, the simulator) can rely on that unconditionally.
+
+use crate::fluid::DiffusionCoefficient;
+use crate::ids::OpId;
+use crate::operation::{Operation, OperationKind};
+use crate::time::Duration;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A validated directed acyclic sequencing graph.
+///
+/// # Examples
+///
+/// Build the three-operation chain `o0 → o1 → o2`:
+///
+/// ```
+/// use mfb_model::prelude::*;
+///
+/// let mut b = SequencingGraph::builder();
+/// let d = DiffusionCoefficient::SMALL_MOLECULE;
+/// let o0 = b.operation(OperationKind::Mix, Duration::from_secs(5), d);
+/// let o1 = b.operation(OperationKind::Heat, Duration::from_secs(3), d);
+/// let o2 = b.operation(OperationKind::Detect, Duration::from_secs(4), d);
+/// b.edge(o0, o1).unwrap();
+/// b.edge(o1, o2).unwrap();
+/// let g = b.build().unwrap();
+///
+/// assert_eq!(g.len(), 3);
+/// assert_eq!(g.sources().collect::<Vec<_>>(), vec![o0]);
+/// assert_eq!(g.sinks().collect::<Vec<_>>(), vec![o2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SequencingGraph {
+    name: String,
+    ops: Vec<Operation>,
+    /// Edges as (parent, child) pairs, deduplicated, in insertion order.
+    edges: Vec<(OpId, OpId)>,
+    /// Adjacency: children of each op.
+    children: Vec<Vec<OpId>>,
+    /// Adjacency: parents of each op.
+    parents: Vec<Vec<OpId>>,
+    /// A topological order of all operations.
+    topo: Vec<OpId>,
+}
+
+impl SequencingGraph {
+    /// Starts building a new sequencing graph.
+    pub fn builder() -> SequencingGraphBuilder {
+        SequencingGraphBuilder::new()
+    }
+
+    /// The assay's name (may be empty).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of operations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when the graph has no operations. Never true for graphs built
+    /// through the builder, which rejects empty graphs.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of fluidic dependencies (edges).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The operation with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    #[inline]
+    pub fn op(&self, id: OpId) -> &Operation {
+        &self.ops[id.index()]
+    }
+
+    /// All operations, in id order.
+    #[inline]
+    pub fn ops(&self) -> impl ExactSizeIterator<Item = &Operation> {
+        self.ops.iter()
+    }
+
+    /// All operation ids, in id order.
+    pub fn op_ids(&self) -> impl ExactSizeIterator<Item = OpId> + '_ {
+        (0..self.ops.len() as u32).map(OpId::new)
+    }
+
+    /// All edges as `(parent, child)` pairs, in insertion order.
+    #[inline]
+    pub fn edges(&self) -> impl ExactSizeIterator<Item = (OpId, OpId)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Parents (father operations) of `id`: operations whose output fluid
+    /// feeds `id`.
+    #[inline]
+    pub fn parents(&self, id: OpId) -> &[OpId] {
+        &self.parents[id.index()]
+    }
+
+    /// Children of `id`: operations consuming the output fluid of `id`.
+    #[inline]
+    pub fn children(&self, id: OpId) -> &[OpId] {
+        &self.children[id.index()]
+    }
+
+    /// Operations without parents (assay entry points).
+    pub fn sources(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.op_ids().filter(|&o| self.parents(o).is_empty())
+    }
+
+    /// Operations without children (assay results).
+    pub fn sinks(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.op_ids().filter(|&o| self.children(o).is_empty())
+    }
+
+    /// A topological order of all operations (parents before children).
+    #[inline]
+    pub fn topological_order(&self) -> &[OpId] {
+        &self.topo
+    }
+
+    /// Number of operations of each kind, in `(Mix, Heat, Filter, Detect)`
+    /// order.
+    pub fn kind_histogram(&self) -> [usize; 4] {
+        let mut h = [0usize; 4];
+        for op in &self.ops {
+            h[op.kind() as usize] += 1;
+        }
+        h
+    }
+
+    /// Per-operation *priority values* as defined by the paper's Algorithm 1:
+    /// the length of the longest path from the operation to the sink, where
+    /// each vertex contributes its execution time and each traversed edge
+    /// contributes the constant transport time `t_c`.
+    ///
+    /// Indexed by `OpId::index()`. Operations with larger priority dominate
+    /// the assay completion time and are scheduled first.
+    ///
+    /// # Examples
+    ///
+    /// For the paper's Fig. 2(a) running example, the priority of `o1` with
+    /// `t_c = 2 s` is 21 s (path `o1 → o5 → o7 → o10 → sink`); this is
+    /// checked by an integration test against the reconstructed benchmark.
+    pub fn priority_values(&self, t_c: Duration) -> Vec<Duration> {
+        let mut prio = vec![Duration::ZERO; self.ops.len()];
+        // Reverse topological order: children before parents.
+        for &id in self.topo.iter().rev() {
+            let own = self.op(id).duration();
+            let best_child = self
+                .children(id)
+                .iter()
+                .map(|&ch| prio[ch.index()] + t_c)
+                .max()
+                .unwrap_or(Duration::ZERO);
+            prio[id.index()] = own + best_child;
+        }
+        prio
+    }
+
+    /// Length of the critical (longest) path through the assay with transport
+    /// cost `t_c` per edge — an absolute lower bound on assay completion time
+    /// on any number of components.
+    pub fn critical_path(&self, t_c: Duration) -> Duration {
+        self.priority_values(t_c)
+            .into_iter()
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Depth of the graph: number of operations on the longest vertex path.
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![1usize; self.ops.len()];
+        for &id in &self.topo {
+            for &ch in self.children(id) {
+                depth[ch.index()] = depth[ch.index()].max(depth[id.index()] + 1);
+            }
+        }
+        depth.into_iter().max().unwrap_or(0)
+    }
+
+    /// Total execution time of all operations (the serial lower bound on a
+    /// single component of each kind, ignoring transport and wash).
+    pub fn total_work(&self) -> Duration {
+        self.ops.iter().map(|o| o.duration()).sum()
+    }
+}
+
+impl fmt::Display for SequencingGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}({} ops, {} edges)",
+            if self.name.is_empty() {
+                "assay"
+            } else {
+                &self.name
+            },
+            self.len(),
+            self.edge_count()
+        )
+    }
+}
+
+/// Incremental builder for [`SequencingGraph`].
+///
+/// Obtain one via [`SequencingGraph::builder`]. Operations are registered
+/// with [`operation`](Self::operation) (which assigns ids densely in call
+/// order) and dependencies with [`edge`](Self::edge);
+/// [`build`](Self::build) performs whole-graph validation.
+#[derive(Debug, Default, Clone)]
+pub struct SequencingGraphBuilder {
+    name: String,
+    ops: Vec<Operation>,
+    edges: Vec<(OpId, OpId)>,
+}
+
+impl SequencingGraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the assay name.
+    pub fn name(&mut self, name: impl Into<String>) -> &mut Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Adds an operation and returns its id.
+    pub fn operation(
+        &mut self,
+        kind: OperationKind,
+        duration: Duration,
+        output_diffusion: DiffusionCoefficient,
+    ) -> OpId {
+        self.labelled_operation(kind, duration, output_diffusion, String::new())
+    }
+
+    /// Adds an operation with a human-readable label and returns its id.
+    pub fn labelled_operation(
+        &mut self,
+        kind: OperationKind,
+        duration: Duration,
+        output_diffusion: DiffusionCoefficient,
+        label: impl Into<String>,
+    ) -> OpId {
+        let id = OpId::new(self.ops.len() as u32);
+        self.ops.push(Operation::new(
+            id,
+            kind,
+            duration,
+            output_diffusion,
+            label.into(),
+        ));
+        id
+    }
+
+    /// Declares that the output fluid of `parent` is an input of `child`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown ids, self-loops, or duplicate edges.
+    /// Cycles are detected later, in [`build`](Self::build).
+    pub fn edge(&mut self, parent: OpId, child: OpId) -> Result<&mut Self, GraphError> {
+        let n = self.ops.len();
+        if parent.index() >= n {
+            return Err(GraphError::UnknownOperation(parent));
+        }
+        if child.index() >= n {
+            return Err(GraphError::UnknownOperation(child));
+        }
+        if parent == child {
+            return Err(GraphError::SelfLoop(parent));
+        }
+        if self.edges.contains(&(parent, child)) {
+            return Err(GraphError::DuplicateEdge(parent, child));
+        }
+        self.edges.push((parent, child));
+        Ok(self)
+    }
+
+    /// Convenience: adds a chain of edges `ops[0] → ops[1] → …`.
+    pub fn chain(&mut self, ops: &[OpId]) -> Result<&mut Self, GraphError> {
+        for w in ops.windows(2) {
+            self.edge(w[0], w[1])?;
+        }
+        Ok(self)
+    }
+
+    /// Appends a whole existing graph as an independent sub-assay (the
+    /// disjoint union). Returns the new ids of `other`'s operations, indexed
+    /// by their old `OpId::index()` — the building block for running several
+    /// bioassays concurrently on one chip, the headline use case of
+    /// DCSA-based platforms.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mfb_model::prelude::*;
+    ///
+    /// let mut b = SequencingGraph::builder();
+    /// let d = DiffusionCoefficient::PROTEIN;
+    /// let solo = {
+    ///     let mut sb = SequencingGraph::builder();
+    ///     let a = sb.operation(OperationKind::Mix, Duration::from_secs(5), d);
+    ///     let z = sb.operation(OperationKind::Detect, Duration::from_secs(3), d);
+    ///     sb.edge(a, z).unwrap();
+    ///     sb.build().unwrap()
+    /// };
+    /// b.append_graph(&solo);
+    /// b.append_graph(&solo);
+    /// let combined = b.build().unwrap();
+    /// assert_eq!(combined.len(), 4);
+    /// assert_eq!(combined.edge_count(), 2);
+    /// ```
+    pub fn append_graph(&mut self, other: &SequencingGraph) -> Vec<OpId> {
+        let mapping: Vec<OpId> = other
+            .ops()
+            .map(|op| {
+                self.labelled_operation(
+                    op.kind(),
+                    op.duration(),
+                    op.output_diffusion(),
+                    op.label().to_owned(),
+                )
+            })
+            .collect();
+        for (p, c) in other.edges() {
+            self.edge(mapping[p.index()], mapping[c.index()])
+                .expect("fresh ids cannot collide");
+        }
+        mapping
+    }
+
+    /// Validates and freezes the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Empty`] for a graph without operations and
+    /// [`GraphError::Cycle`] when the edges contain a directed cycle.
+    pub fn build(self) -> Result<SequencingGraph, GraphError> {
+        if self.ops.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        let n = self.ops.len();
+        let mut children: Vec<Vec<OpId>> = vec![Vec::new(); n];
+        let mut parents: Vec<Vec<OpId>> = vec![Vec::new(); n];
+        for &(p, c) in &self.edges {
+            children[p.index()].push(c);
+            parents[c.index()].push(p);
+        }
+
+        // Kahn's algorithm for topological order and cycle detection.
+        let mut indeg: Vec<usize> = parents.iter().map(Vec::len).collect();
+        let mut queue: VecDeque<OpId> = (0..n as u32)
+            .map(OpId::new)
+            .filter(|o| indeg[o.index()] == 0)
+            .collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(o) = queue.pop_front() {
+            topo.push(o);
+            for &ch in &children[o.index()] {
+                indeg[ch.index()] -= 1;
+                if indeg[ch.index()] == 0 {
+                    queue.push_back(ch);
+                }
+            }
+        }
+        if topo.len() != n {
+            let on_cycle = (0..n as u32)
+                .map(OpId::new)
+                .filter(|o| indeg[o.index()] > 0)
+                .collect();
+            return Err(GraphError::Cycle(on_cycle));
+        }
+
+        Ok(SequencingGraph {
+            name: self.name,
+            ops: self.ops,
+            edges: self.edges,
+            children,
+            parents,
+            topo,
+        })
+    }
+}
+
+/// Errors produced while building a [`SequencingGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The graph contains no operations.
+    Empty,
+    /// An edge referenced an operation id that was never registered.
+    UnknownOperation(OpId),
+    /// An edge from an operation to itself.
+    SelfLoop(OpId),
+    /// The same dependency was declared twice.
+    DuplicateEdge(OpId, OpId),
+    /// The dependencies contain a directed cycle; the payload lists
+    /// operations that remained on cycles.
+    Cycle(Vec<OpId>),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Empty => write!(f, "sequencing graph has no operations"),
+            GraphError::UnknownOperation(o) => write!(f, "unknown operation {o}"),
+            GraphError::SelfLoop(o) => write!(f, "self-loop on operation {o}"),
+            GraphError::DuplicateEdge(p, c) => write!(f, "duplicate edge {p} -> {c}"),
+            GraphError::Cycle(ops) => {
+                write!(f, "sequencing graph contains a cycle through ")?;
+                for (i, o) in ops.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{o}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d() -> DiffusionCoefficient {
+        DiffusionCoefficient::SMALL_MOLECULE
+    }
+
+    fn chain3() -> SequencingGraph {
+        let mut b = SequencingGraph::builder();
+        let o0 = b.operation(OperationKind::Mix, Duration::from_secs(5), d());
+        let o1 = b.operation(OperationKind::Heat, Duration::from_secs(3), d());
+        let o2 = b.operation(OperationKind::Detect, Duration::from_secs(4), d());
+        b.chain(&[o0, o1, o2]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_chain() {
+        let g = chain3();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.parents(OpId::new(1)), &[OpId::new(0)]);
+        assert_eq!(g.children(OpId::new(1)), &[OpId::new(2)]);
+        assert_eq!(
+            g.topological_order(),
+            &[OpId::new(0), OpId::new(1), OpId::new(2)]
+        );
+        assert_eq!(g.depth(), 3);
+        assert_eq!(g.total_work(), Duration::from_secs(12));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(
+            SequencingGraph::builder().build().unwrap_err(),
+            GraphError::Empty
+        );
+    }
+
+    #[test]
+    fn rejects_self_loop_and_duplicates() {
+        let mut b = SequencingGraph::builder();
+        let o0 = b.operation(OperationKind::Mix, Duration::from_secs(1), d());
+        let o1 = b.operation(OperationKind::Mix, Duration::from_secs(1), d());
+        assert_eq!(b.edge(o0, o0).unwrap_err(), GraphError::SelfLoop(o0));
+        b.edge(o0, o1).unwrap();
+        assert_eq!(
+            b.edge(o0, o1).unwrap_err(),
+            GraphError::DuplicateEdge(o0, o1)
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_ids() {
+        let mut b = SequencingGraph::builder();
+        let o0 = b.operation(OperationKind::Mix, Duration::from_secs(1), d());
+        let bogus = OpId::new(7);
+        assert_eq!(
+            b.edge(o0, bogus).unwrap_err(),
+            GraphError::UnknownOperation(bogus)
+        );
+        assert_eq!(
+            b.edge(bogus, o0).unwrap_err(),
+            GraphError::UnknownOperation(bogus)
+        );
+    }
+
+    #[test]
+    fn detects_cycle() {
+        let mut b = SequencingGraph::builder();
+        let o0 = b.operation(OperationKind::Mix, Duration::from_secs(1), d());
+        let o1 = b.operation(OperationKind::Mix, Duration::from_secs(1), d());
+        let o2 = b.operation(OperationKind::Mix, Duration::from_secs(1), d());
+        b.edge(o0, o1).unwrap();
+        b.edge(o1, o2).unwrap();
+        b.edge(o2, o0).unwrap();
+        match b.build().unwrap_err() {
+            GraphError::Cycle(ops) => assert_eq!(ops.len(), 3),
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn priority_values_on_chain() {
+        let g = chain3();
+        let t_c = Duration::from_secs(2);
+        let prio = g.priority_values(t_c);
+        // o2: 4; o1: 3 + 2 + 4 = 9; o0: 5 + 2 + 9 = 16.
+        assert_eq!(prio[2], Duration::from_secs(4));
+        assert_eq!(prio[1], Duration::from_secs(9));
+        assert_eq!(prio[0], Duration::from_secs(16));
+        assert_eq!(g.critical_path(t_c), Duration::from_secs(16));
+    }
+
+    #[test]
+    fn priority_values_take_longest_branch() {
+        let mut b = SequencingGraph::builder();
+        let top = b.operation(OperationKind::Mix, Duration::from_secs(1), d());
+        let slow = b.operation(OperationKind::Mix, Duration::from_secs(10), d());
+        let fast = b.operation(OperationKind::Mix, Duration::from_secs(1), d());
+        b.edge(top, slow).unwrap();
+        b.edge(top, fast).unwrap();
+        let g = b.build().unwrap();
+        let prio = g.priority_values(Duration::from_secs(2));
+        assert_eq!(prio[top.index()], Duration::from_secs(13)); // 1 + 2 + 10
+    }
+
+    #[test]
+    fn sources_and_sinks_on_diamond() {
+        let mut b = SequencingGraph::builder();
+        let a = b.operation(OperationKind::Mix, Duration::from_secs(1), d());
+        let l = b.operation(OperationKind::Heat, Duration::from_secs(1), d());
+        let r = b.operation(OperationKind::Filter, Duration::from_secs(1), d());
+        let z = b.operation(OperationKind::Detect, Duration::from_secs(1), d());
+        b.edge(a, l).unwrap();
+        b.edge(a, r).unwrap();
+        b.edge(l, z).unwrap();
+        b.edge(r, z).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.sources().collect::<Vec<_>>(), vec![a]);
+        assert_eq!(g.sinks().collect::<Vec<_>>(), vec![z]);
+        assert_eq!(g.depth(), 3);
+        assert_eq!(g.kind_histogram(), [1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn topo_order_respects_all_edges() {
+        let g = chain3();
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; g.len()];
+            for (i, &o) in g.topological_order().iter().enumerate() {
+                pos[o.index()] = i;
+            }
+            pos
+        };
+        for (p, c) in g.edges() {
+            assert!(pos[p.index()] < pos[c.index()]);
+        }
+    }
+
+    #[test]
+    fn display_includes_counts() {
+        let g = chain3();
+        assert_eq!(g.to_string(), "assay(3 ops, 2 edges)");
+    }
+}

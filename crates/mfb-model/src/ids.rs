@@ -1,0 +1,95 @@
+//! Strongly-typed identifiers for the entities of a synthesis problem.
+//!
+//! Using distinct newtypes for operation, component, net and transport-task
+//! identifiers prevents the classic index-confusion bugs of EDA code bases
+//! (indexing a component table with an operation id, etc.). All ids are plain
+//! dense `u32` indices assigned by their owning container.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw dense index.
+            #[inline]
+            pub const fn new(index: u32) -> Self {
+                $name(index)
+            }
+
+            /// The raw dense index.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of an operation (a vertex of the sequencing graph).
+    OpId,
+    "o"
+);
+
+define_id!(
+    /// Identifier of an allocated on-chip component (mixer, heater, …).
+    ComponentId,
+    "c"
+);
+
+define_id!(
+    /// Identifier of a routing net (an ordered component pair that exchanges
+    /// fluid at least once in the schedule).
+    NetId,
+    "n"
+);
+
+define_id!(
+    /// Identifier of a transport task (one fluid movement between two
+    /// components, or an eviction into channel storage).
+    TaskId,
+    "tk"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_and_display() {
+        let o = OpId::new(3);
+        assert_eq!(o.index(), 3);
+        assert_eq!(o.to_string(), "o3");
+        assert_eq!(ComponentId::new(1).to_string(), "c1");
+        assert_eq!(NetId::new(0).to_string(), "n0");
+        assert_eq!(TaskId::new(9).to_string(), "tk9");
+        assert_eq!(usize::from(TaskId::new(9)), 9);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(OpId::new(1) < OpId::new(2));
+        assert_eq!(OpId::new(5), OpId::new(5));
+    }
+}

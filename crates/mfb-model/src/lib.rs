@@ -1,0 +1,70 @@
+//! Domain model for flow-based microfluidic biochips (FBMBs) with a
+//! distributed channel-storage architecture (DCSA).
+//!
+//! This crate is the foundation of the `mfb` workspace, a Rust implementation
+//! of *"Physical Synthesis of Flow-Based Microfluidic Biochips Considering
+//! Distributed Channel Storage"* (Chen et al., DATE 2019). It defines the
+//! vocabulary every other crate speaks:
+//!
+//! * [`time`] — deterministic tick-based [`Instant`](time::Instant) /
+//!   [`Duration`](time::Duration) / [`Interval`](time::Interval) arithmetic;
+//! * [`ids`] — strongly-typed operation / component / net / task identifiers;
+//! * [`fluid`] — diffusion coefficients, the physics behind wash times;
+//! * [`operation`] and [`graph`] — bioassays as validated sequencing DAGs;
+//! * [`component`] — component kinds, footprints, allocations, the set `C`;
+//! * [`wash`] — wash-time models mapping diffusion coefficients to flush
+//!   durations;
+//! * [`geom`] — the cell grid on which placement and routing operate.
+//!
+//! # Quick taste
+//!
+//! ```
+//! use mfb_model::prelude::*;
+//!
+//! // A two-step assay: mix, then detect.
+//! let mut b = SequencingGraph::builder();
+//! let d = DiffusionCoefficient::PROTEIN;
+//! let mix = b.operation(OperationKind::Mix, Duration::from_secs(5), d);
+//! let det = b.operation(OperationKind::Detect, Duration::from_secs(4), d);
+//! b.edge(mix, det).unwrap();
+//! let assay = b.build().unwrap();
+//!
+//! // One mixer + one detector suffice.
+//! let chip = Allocation::new(1, 0, 0, 1);
+//! assert!(chip
+//!     .instantiate(&ComponentLibrary::default())
+//!     .covers(assay.ops().map(|o| o.kind())));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod component;
+pub mod concentration;
+pub mod fluid;
+pub mod geom;
+pub mod graph;
+pub mod ids;
+pub mod operation;
+pub mod text;
+pub mod time;
+pub mod transport;
+pub mod wash;
+
+/// One-stop import for the types used by virtually every consumer.
+pub mod prelude {
+    pub use crate::component::{
+        Allocation, Component, ComponentKind, ComponentLibrary, ComponentSet, Footprint,
+    };
+    pub use crate::concentration::ConcentrationMap;
+    pub use crate::fluid::DiffusionCoefficient;
+    pub use crate::geom::{CellPos, CellRect, GridSpec};
+    pub use crate::graph::{GraphError, SequencingGraph, SequencingGraphBuilder};
+    pub use crate::ids::{ComponentId, NetId, OpId, TaskId};
+    pub use crate::operation::{Operation, OperationKind};
+    pub use crate::text::{parse_assay, write_assay, AssayFile, ParseError};
+    pub use crate::time::{peak_overlap, Duration, Instant, Interval};
+    pub use crate::transport::{ConstantTc, PressureDriven, TransportModel};
+    pub use crate::wash::{LogLinearWash, TableWash, WashModel};
+}

@@ -1,0 +1,162 @@
+//! Operations: the vertices of a sequencing graph.
+
+use crate::fluid::DiffusionCoefficient;
+use crate::ids::OpId;
+use crate::time::Duration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a fluidic operation, which determines the kind of component
+/// that can execute it.
+///
+/// The four kinds match the component vector reported in the paper's Table I:
+/// `(Mixers, Heaters, Filters, Detectors)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OperationKind {
+    /// Merge and blend two input fluids (executed on a rotary mixer).
+    Mix,
+    /// Heat a fluid to a target temperature (executed on a heater).
+    Heat,
+    /// Separate components of a fluid (executed on a filter).
+    Filter,
+    /// Optically analyse a fluid (executed on a detector).
+    Detect,
+}
+
+impl OperationKind {
+    /// All operation kinds, in the paper's `(M, H, F, D)` order.
+    pub const ALL: [OperationKind; 4] = [
+        OperationKind::Mix,
+        OperationKind::Heat,
+        OperationKind::Filter,
+        OperationKind::Detect,
+    ];
+
+    /// Short human-readable name (`"mix"`, `"heat"`, …).
+    pub const fn name(self) -> &'static str {
+        match self {
+            OperationKind::Mix => "mix",
+            OperationKind::Heat => "heat",
+            OperationKind::Filter => "filter",
+            OperationKind::Detect => "detect",
+        }
+    }
+}
+
+impl fmt::Display for OperationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One operation of a bioassay.
+///
+/// An operation executes for a fixed [`duration`](Operation::duration) on a
+/// component of matching [`kind`](Operation::kind) and produces a single
+/// output fluid whose contamination behaviour is captured by
+/// [`output_diffusion`](Operation::output_diffusion).
+///
+/// Operations are created through
+/// [`SequencingGraphBuilder`](crate::graph::SequencingGraphBuilder), which
+/// assigns their [`OpId`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Operation {
+    id: OpId,
+    kind: OperationKind,
+    duration: Duration,
+    output_diffusion: DiffusionCoefficient,
+    label: String,
+}
+
+impl Operation {
+    pub(crate) fn new(
+        id: OpId,
+        kind: OperationKind,
+        duration: Duration,
+        output_diffusion: DiffusionCoefficient,
+        label: String,
+    ) -> Self {
+        Operation {
+            id,
+            kind,
+            duration,
+            output_diffusion,
+            label,
+        }
+    }
+
+    /// The operation's identifier within its graph.
+    #[inline]
+    pub fn id(&self) -> OpId {
+        self.id
+    }
+
+    /// What kind of component this operation needs.
+    #[inline]
+    pub fn kind(&self) -> OperationKind {
+        self.kind
+    }
+
+    /// Execution time of the operation.
+    #[inline]
+    pub fn duration(&self) -> Duration {
+        self.duration
+    }
+
+    /// Diffusion coefficient of the fluid this operation produces; governs
+    /// how long residues of that fluid take to wash away.
+    #[inline]
+    pub fn output_diffusion(&self) -> DiffusionCoefficient {
+        self.output_diffusion
+    }
+
+    /// Human-readable label (e.g. `"mix sample with reagent"`). May be empty.
+    #[inline]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.label.is_empty() {
+            write!(f, "{}[{} {}]", self.id, self.kind, self.duration)
+        } else {
+            write!(
+                f,
+                "{}[{} {} \"{}\"]",
+                self.id, self.kind, self.duration, self.label
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_and_order() {
+        assert_eq!(OperationKind::Mix.to_string(), "mix");
+        assert_eq!(OperationKind::ALL.len(), 4);
+        assert_eq!(OperationKind::ALL[3], OperationKind::Detect);
+    }
+
+    #[test]
+    fn operation_accessors() {
+        let op = Operation::new(
+            OpId::new(2),
+            OperationKind::Heat,
+            Duration::from_secs(3),
+            DiffusionCoefficient::PROTEIN,
+            "denature".to_owned(),
+        );
+        assert_eq!(op.id(), OpId::new(2));
+        assert_eq!(op.kind(), OperationKind::Heat);
+        assert_eq!(op.duration(), Duration::from_secs(3));
+        assert_eq!(op.output_diffusion(), DiffusionCoefficient::PROTEIN);
+        assert_eq!(op.label(), "denature");
+        assert!(op.to_string().contains("heat"));
+        assert!(op.to_string().contains("denature"));
+    }
+}

@@ -1,0 +1,408 @@
+//! The `.assay` text format: a minimal, diff-friendly way to describe
+//! bioassays (and optionally a component allocation) in a file.
+//!
+//! ```text
+//! # Lines starting with '#' are comments.
+//! assay "my panel"
+//!
+//! # op <name> <kind> <duration>s (wash=<secs>s | d=<cm^2/s>)
+//! op prepA  mix    5s wash=4s
+//! op prepB  mix    5s wash=2s
+//! op merge  mix    4s d=5e-8
+//! op read   detect 3s wash=0.2s
+//!
+//! # edge <parent> -> <child> [-> <grandchild> ...]
+//! edge prepA -> merge -> read
+//! edge prepB -> merge
+//!
+//! # optional: alloc <mixers> <heaters> <filters> <detectors>
+//! alloc 2 0 0 1
+//! ```
+//!
+//! `wash=` values are converted into diffusion coefficients through the
+//! paper-calibrated log-linear wash model; `d=` gives the coefficient
+//! directly.
+
+use crate::component::Allocation;
+use crate::fluid::DiffusionCoefficient;
+use crate::graph::{GraphError, SequencingGraph};
+use crate::ids::OpId;
+use crate::operation::OperationKind;
+use crate::time::Duration;
+use crate::wash::LogLinearWash;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed `.assay` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssayFile {
+    /// The bioassay.
+    pub graph: SequencingGraph,
+    /// The component allocation, if the file declared one.
+    pub allocation: Option<Allocation>,
+}
+
+/// Errors produced while parsing an `.assay` file.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// A line could not be understood.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// An edge referenced an undefined operation name.
+    UnknownOp {
+        /// 1-based line number.
+        line: usize,
+        /// The missing name.
+        name: String,
+    },
+    /// The same operation name was defined twice.
+    DuplicateOp {
+        /// 1-based line number.
+        line: usize,
+        /// The re-defined name.
+        name: String,
+    },
+    /// The resulting graph is invalid (cycle, empty, duplicate edge).
+    Graph(GraphError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ParseError::UnknownOp { line, name } => {
+                write!(f, "line {line}: unknown operation `{name}`")
+            }
+            ParseError::DuplicateOp { line, name } => {
+                write!(f, "line {line}: operation `{name}` defined twice")
+            }
+            ParseError::Graph(e) => write!(f, "invalid assay graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for ParseError {
+    fn from(e: GraphError) -> Self {
+        ParseError::Graph(e)
+    }
+}
+
+/// Parses `.assay` text.
+///
+/// # Errors
+///
+/// See [`ParseError`].
+pub fn parse_assay(text: &str) -> Result<AssayFile, ParseError> {
+    let wash = LogLinearWash::paper_calibrated();
+    let mut builder = SequencingGraph::builder();
+    let mut names: HashMap<String, OpId> = HashMap::new();
+    let mut allocation = None;
+    let mut pending_edges: Vec<(usize, Vec<String>)> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let keyword = tokens.next().expect("non-empty line has a token");
+        match keyword {
+            "assay" => {
+                let rest = line[5..].trim().trim_matches('"');
+                builder.name(rest);
+            }
+            "op" => {
+                let (name, kind, dur, diff) = parse_op(line_no, line, &wash)?;
+                if names.contains_key(&name) {
+                    return Err(ParseError::DuplicateOp {
+                        line: line_no,
+                        name,
+                    });
+                }
+                let id = builder.labelled_operation(kind, dur, diff, name.clone());
+                names.insert(name, id);
+            }
+            "edge" => {
+                let chain: Vec<String> = line[4..]
+                    .split("->")
+                    .map(|s| s.trim().to_string())
+                    .collect();
+                if chain.len() < 2 || chain.iter().any(String::is_empty) {
+                    return Err(ParseError::Syntax {
+                        line: line_no,
+                        message: "expected `edge a -> b [-> c ...]`".into(),
+                    });
+                }
+                pending_edges.push((line_no, chain));
+            }
+            "alloc" => {
+                let counts: Vec<u32> =
+                    tokens
+                        .map(str::parse)
+                        .collect::<Result<_, _>>()
+                        .map_err(|e| ParseError::Syntax {
+                            line: line_no,
+                            message: format!("bad allocation count: {e}"),
+                        })?;
+                if counts.len() != 4 {
+                    return Err(ParseError::Syntax {
+                        line: line_no,
+                        message: "expected `alloc <mixers> <heaters> <filters> <detectors>`".into(),
+                    });
+                }
+                allocation = Some(Allocation::new(counts[0], counts[1], counts[2], counts[3]));
+            }
+            other => {
+                return Err(ParseError::Syntax {
+                    line: line_no,
+                    message: format!("unknown keyword `{other}`"),
+                })
+            }
+        }
+    }
+
+    for (line_no, chain) in pending_edges {
+        let ids: Vec<OpId> = chain
+            .iter()
+            .map(|n| {
+                names.get(n).copied().ok_or_else(|| ParseError::UnknownOp {
+                    line: line_no,
+                    name: n.clone(),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        builder.chain(&ids)?;
+    }
+
+    Ok(AssayFile {
+        graph: builder.build()?,
+        allocation,
+    })
+}
+
+fn parse_op(
+    line_no: usize,
+    line: &str,
+    wash: &LogLinearWash,
+) -> Result<(String, OperationKind, Duration, DiffusionCoefficient), ParseError> {
+    let syntax = |message: String| ParseError::Syntax {
+        line: line_no,
+        message,
+    };
+    let mut tokens = line.split_whitespace().skip(1);
+    let name = tokens
+        .next()
+        .ok_or_else(|| syntax("missing operation name".into()))?
+        .to_string();
+    let kind = match tokens.next() {
+        Some("mix") => OperationKind::Mix,
+        Some("heat") => OperationKind::Heat,
+        Some("filter") => OperationKind::Filter,
+        Some("detect") => OperationKind::Detect,
+        other => {
+            return Err(syntax(format!(
+                "expected kind mix|heat|filter|detect, got {other:?}"
+            )))
+        }
+    };
+    let dur_tok = tokens
+        .next()
+        .ok_or_else(|| syntax("missing duration (e.g. `5s`)".into()))?;
+    let dur_secs: f64 = dur_tok
+        .strip_suffix('s')
+        .ok_or_else(|| syntax(format!("duration `{dur_tok}` must end in `s`")))?
+        .parse()
+        .map_err(|e| syntax(format!("bad duration `{dur_tok}`: {e}")))?;
+    let dur = Duration::from_secs_f64(dur_secs);
+
+    let fluid_tok = tokens
+        .next()
+        .ok_or_else(|| syntax("missing fluid spec (`wash=..s` or `d=..`)".into()))?;
+    let diff = if let Some(v) = fluid_tok.strip_prefix("wash=") {
+        let secs: f64 = v
+            .strip_suffix('s')
+            .ok_or_else(|| syntax(format!("wash value `{v}` must end in `s`")))?
+            .parse()
+            .map_err(|e| syntax(format!("bad wash `{v}`: {e}")))?;
+        wash.coefficient_for(Duration::from_secs_f64(secs))
+    } else if let Some(v) = fluid_tok.strip_prefix("d=") {
+        let d: f64 = v
+            .parse()
+            .map_err(|e| syntax(format!("bad coefficient `{v}`: {e}")))?;
+        DiffusionCoefficient::new(d).map_err(|e| syntax(format!("bad coefficient `{v}`: {e}")))?
+    } else {
+        return Err(syntax(format!(
+            "expected `wash=<secs>s` or `d=<coefficient>`, got `{fluid_tok}`"
+        )));
+    };
+    if let Some(extra) = tokens.next() {
+        return Err(syntax(format!("unexpected trailing token `{extra}`")));
+    }
+    Ok((name, kind, dur, diff))
+}
+
+/// Serializes a graph (and optional allocation) back into `.assay` text.
+/// Operations are written with `d=` coefficients, so the round trip is
+/// model-independent.
+pub fn write_assay(graph: &SequencingGraph, allocation: Option<Allocation>) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    if !graph.name().is_empty() {
+        let _ = writeln!(s, "assay \"{}\"", graph.name());
+    }
+    let name_of = |id: OpId| -> String {
+        let label = graph.op(id).label();
+        if label.is_empty() || label.contains(char::is_whitespace) {
+            format!("o{}", id.index())
+        } else {
+            label.to_string()
+        }
+    };
+    for op in graph.ops() {
+        let _ = writeln!(
+            s,
+            "op {} {} {}s d={:e}",
+            name_of(op.id()),
+            op.kind(),
+            op.duration().as_secs_f64(),
+            op.output_diffusion().cm2_per_s()
+        );
+    }
+    for (p, c) in graph.edges() {
+        let _ = writeln!(s, "edge {} -> {}", name_of(p), name_of(c));
+    }
+    if let Some(a) = allocation {
+        let _ = writeln!(
+            s,
+            "alloc {} {} {} {}",
+            a.count(crate::component::ComponentKind::Mixer),
+            a.count(crate::component::ComponentKind::Heater),
+            a.count(crate::component::ComponentKind::Filter),
+            a.count(crate::component::ComponentKind::Detector),
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wash::WashModel;
+
+    const SAMPLE: &str = r#"
+# three-op chain
+assay "demo"
+op a mix    5s wash=4s
+op b heat   3s d=5e-7
+op c detect 4s wash=0.2s
+edge a -> b -> c
+alloc 1 1 0 1
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let f = parse_assay(SAMPLE).unwrap();
+        assert_eq!(f.graph.name(), "demo");
+        assert_eq!(f.graph.len(), 3);
+        assert_eq!(f.graph.edge_count(), 2);
+        assert_eq!(f.allocation, Some(Allocation::new(1, 1, 0, 1)));
+        let wash = LogLinearWash::paper_calibrated();
+        let a = f.graph.op(OpId::new(0));
+        assert_eq!(a.kind(), OperationKind::Mix);
+        assert_eq!(a.duration(), Duration::from_secs(5));
+        assert_eq!(wash.wash_time(a.output_diffusion()), Duration::from_secs(4));
+        let b = f.graph.op(OpId::new(1));
+        assert!((b.output_diffusion().cm2_per_s() - 5e-7).abs() < 1e-20);
+    }
+
+    #[test]
+    fn roundtrips_through_writer() {
+        let f = parse_assay(SAMPLE).unwrap();
+        let text = write_assay(&f.graph, f.allocation);
+        let f2 = parse_assay(&text).unwrap();
+        assert_eq!(f2.graph.len(), f.graph.len());
+        assert_eq!(f2.graph.edge_count(), f.graph.edge_count());
+        assert_eq!(f2.allocation, f.allocation);
+        for (x, y) in f.graph.ops().zip(f2.graph.ops()) {
+            assert_eq!(x.kind(), y.kind());
+            assert_eq!(x.duration(), y.duration());
+            assert!(
+                (x.output_diffusion().cm2_per_s() - y.output_diffusion().cm2_per_s()).abs() < 1e-18
+            );
+        }
+    }
+
+    #[test]
+    fn reports_unknown_ops_with_line_numbers() {
+        let text = "op a mix 5s wash=1s\nedge a -> ghost\n";
+        match parse_assay(text).unwrap_err() {
+            ParseError::UnknownOp { line, name } => {
+                assert_eq!(line, 2);
+                assert_eq!(name, "ghost");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_duplicate_ops() {
+        let text = "op a mix 5s wash=1s\nop a mix 4s wash=1s\n";
+        assert!(matches!(
+            parse_assay(text).unwrap_err(),
+            ParseError::DuplicateOp { line: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn reports_syntax_errors() {
+        for bad in [
+            "op a mixx 5s wash=1s",
+            "op a mix 5 wash=1s",
+            "op a mix 5s",
+            "op a mix 5s wash=1",
+            "op a mix 5s d=-3",
+            "op a mix 5s wash=1s extra",
+            "alloc 1 2 3",
+            "frobnicate",
+            "edge a ->",
+        ] {
+            let err = parse_assay(bad).unwrap_err();
+            assert!(
+                matches!(err, ParseError::Syntax { .. }),
+                "`{bad}` gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn detects_cycles_via_graph_error() {
+        let text = "op a mix 1s wash=1s\nop b mix 1s wash=1s\nedge a -> b\nedge b -> a\n";
+        assert!(matches!(
+            parse_assay(text).unwrap_err(),
+            ParseError::Graph(_)
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# hi\nop a mix 1s wash=1s # trailing\n\n";
+        let f = parse_assay(text).unwrap();
+        assert_eq!(f.graph.len(), 1);
+        assert_eq!(f.allocation, None);
+    }
+}

@@ -1,0 +1,545 @@
+//! Deterministic, tick-based time arithmetic.
+//!
+//! All scheduling, placement and routing code in this workspace manipulates
+//! time as an integer number of *ticks* (one tick = 0.1 s). Integer time keeps
+//! priority queues totally ordered, makes every experiment bit-reproducible,
+//! and sidesteps the float-comparison pitfalls that plague schedulers.
+//!
+//! Two newtypes are provided, mirroring [`std::time`]:
+//!
+//! * [`Instant`] — a point on the global assay timeline (ticks since assay
+//!   start).
+//! * [`Duration`] — a span of time (a non-negative number of ticks).
+//!
+//! Conversions to and from seconds live at the API boundary
+//! ([`Duration::from_secs_f64`], [`Instant::as_secs_f64`], …); internal code
+//! never touches floating point time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Number of ticks per second. One tick is 100 ms, fine enough to represent
+/// the shortest wash time reported in the paper (0.2 s) exactly.
+pub const TICKS_PER_SECOND: u64 = 10;
+
+/// A span of time, measured in integer ticks (see [`TICKS_PER_SECOND`]).
+///
+/// `Duration` is `Copy`, totally ordered and overflow-checked in debug
+/// builds. It is the unit for operation execution times, wash times, cache
+/// times and the constant transport time `t_c`.
+///
+/// # Examples
+///
+/// ```
+/// use mfb_model::time::Duration;
+///
+/// let mix = Duration::from_secs(5);
+/// let wash = Duration::from_secs_f64(0.2);
+/// assert_eq!((mix + wash).as_secs_f64(), 5.2);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a duration from a raw tick count.
+    #[inline]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        Duration(ticks)
+    }
+
+    /// Creates a duration from whole seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        Duration(secs * TICKS_PER_SECOND)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative, NaN or too large to represent.
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration seconds must be finite and non-negative, got {secs}"
+        );
+        let ticks = (secs * TICKS_PER_SECOND as f64).round();
+        assert!(ticks <= u64::MAX as f64, "duration out of range: {secs} s");
+        Duration(ticks as u64)
+    }
+
+    /// Raw tick count.
+    #[inline]
+    pub const fn as_ticks(self) -> u64 {
+        self.0
+    }
+
+    /// This duration expressed in (possibly fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / TICKS_PER_SECOND as f64
+    }
+
+    /// `true` if this is the zero duration.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked subtraction; `None` when `rhs > self`.
+    #[inline]
+    pub const fn checked_sub(self, rhs: Duration) -> Option<Duration> {
+        match self.0.checked_sub(rhs.0) {
+            Some(t) => Some(Duration(t)),
+            None => None,
+        }
+    }
+
+    /// Saturating subtraction; clamps at [`Duration::ZERO`].
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The larger of `self` and `other`.
+    #[inline]
+    pub fn max(self, other: Duration) -> Duration {
+        Duration(self.0.max(other.0))
+    }
+
+    /// The smaller of `self` and `other`.
+    #[inline]
+    pub fn min(self, other: Duration) -> Duration {
+        Duration(self.0.min(other.0))
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.checked_add(rhs.0).expect("duration overflow"))
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("duration subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for Duration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0.checked_mul(rhs).expect("duration overflow"))
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}s", self.as_secs_f64())
+    }
+}
+
+/// A point on the assay timeline: ticks elapsed since the assay started.
+///
+/// The assay origin is [`Instant::ZERO`]. Subtracting two instants yields a
+/// [`Duration`]; adding a [`Duration`] to an instant yields a later instant.
+///
+/// # Examples
+///
+/// ```
+/// use mfb_model::time::{Duration, Instant};
+///
+/// let start = Instant::ZERO + Duration::from_secs(3);
+/// let end = start + Duration::from_secs(5);
+/// assert_eq!(end - start, Duration::from_secs(5));
+/// assert!(end > start);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Instant(u64);
+
+impl Instant {
+    /// The assay start time.
+    pub const ZERO: Instant = Instant(0);
+
+    /// Creates an instant from a raw tick count since assay start.
+    #[inline]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        Instant(ticks)
+    }
+
+    /// Creates an instant from whole seconds since assay start.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        Instant(secs * TICKS_PER_SECOND)
+    }
+
+    /// Raw tick count since assay start.
+    #[inline]
+    pub const fn as_ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since assay start.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / TICKS_PER_SECOND as f64
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    #[inline]
+    pub fn duration_since(self, earlier: Instant) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("`earlier` is later than `self`"),
+        )
+    }
+
+    /// Duration elapsed since `earlier`, or [`Duration::ZERO`] if `earlier`
+    /// is in the future.
+    #[inline]
+    pub const fn saturating_duration_since(self, earlier: Instant) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of `self` and `other`.
+    #[inline]
+    pub fn max(self, other: Instant) -> Instant {
+        Instant(self.0.max(other.0))
+    }
+
+    /// The earlier of `self` and `other`.
+    #[inline]
+    pub fn min(self, other: Instant) -> Instant {
+        Instant(self.0.min(other.0))
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    #[inline]
+    fn add(self, rhs: Duration) -> Instant {
+        Instant(self.0.checked_add(rhs.0).expect("instant overflow"))
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Duration> for Instant {
+    type Output = Instant;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Instant {
+        Instant(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("instant underflow: result before assay start"),
+        )
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Instant) -> Duration {
+        self.duration_since(rhs)
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.1}s", self.as_secs_f64())
+    }
+}
+
+/// A half-open time interval `[start, end)` on the assay timeline.
+///
+/// Intervals are the currency of conflict detection: two transport tasks
+/// conflict on a grid cell exactly when their occupancy intervals intersect.
+/// The half-open convention means back-to-back intervals (`a.end == b.start`)
+/// do **not** overlap, matching the physical intuition that a channel freed
+/// at time `t` is usable from time `t`.
+///
+/// # Examples
+///
+/// ```
+/// use mfb_model::time::{Duration, Instant, Interval};
+///
+/// let a = Interval::new(Instant::from_secs(0), Instant::from_secs(5));
+/// let b = Interval::new(Instant::from_secs(5), Instant::from_secs(9));
+/// assert!(!a.overlaps(b));
+/// assert!(a.overlaps(Interval::new(Instant::from_secs(4), Instant::from_secs(6))));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    /// Inclusive start of the interval.
+    pub start: Instant,
+    /// Exclusive end of the interval.
+    pub end: Instant,
+}
+
+impl Interval {
+    /// Creates an interval `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    #[inline]
+    pub fn new(start: Instant, end: Instant) -> Self {
+        assert!(end >= start, "interval end {end} before start {start}");
+        Interval { start, end }
+    }
+
+    /// An empty interval anchored at `at`.
+    #[inline]
+    pub fn empty_at(at: Instant) -> Self {
+        Interval { start: at, end: at }
+    }
+
+    /// Length of the interval.
+    #[inline]
+    pub fn length(self) -> Duration {
+        self.end - self.start
+    }
+
+    /// `true` when the interval contains no time at all.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// `true` when `self` and `other` share any instant
+    /// (half-open semantics; touching endpoints do not overlap).
+    /// Empty intervals never overlap anything.
+    #[inline]
+    pub fn overlaps(self, other: Interval) -> bool {
+        !self.is_empty() && !other.is_empty() && self.start < other.end && other.start < self.end
+    }
+
+    /// `true` when instant `t` lies within `[start, end)`.
+    #[inline]
+    pub fn contains(self, t: Instant) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// The smallest interval covering both `self` and `other`.
+    #[inline]
+    pub fn hull(self, other: Interval) -> Interval {
+        Interval {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// Peak number of simultaneously open intervals (empty intervals ignored).
+///
+/// The workhorse behind "peak parallel transports", "peak cached fluids"
+/// and per-kind parallelism profiles.
+pub fn peak_overlap<I: IntoIterator<Item = Interval>>(intervals: I) -> usize {
+    let mut events: Vec<(Instant, i64)> = Vec::new();
+    for iv in intervals {
+        if iv.is_empty() {
+            continue;
+        }
+        events.push((iv.start, 1));
+        events.push((iv.end, -1));
+    }
+    events.sort_by_key(|&(t, d)| (t, d));
+    let mut cur = 0i64;
+    let mut peak = 0i64;
+    for (_, d) in events {
+        cur += d;
+        peak = peak.max(cur);
+    }
+    peak as usize
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.1}s, {:.1}s)",
+            self.start.as_secs_f64(),
+            self.end.as_secs_f64()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_second_roundtrip() {
+        assert_eq!(Duration::from_secs(5).as_secs_f64(), 5.0);
+        assert_eq!(Duration::from_secs_f64(0.2).as_ticks(), 2);
+        assert_eq!(Duration::from_secs_f64(0.25).as_ticks(), 3); // rounds
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = Duration::from_secs(3);
+        let b = Duration::from_secs(2);
+        assert_eq!(a + b, Duration::from_secs(5));
+        assert_eq!(a - b, Duration::from_secs(1));
+        assert_eq!(a * 4, Duration::from_secs(12));
+        assert_eq!(a / 2, Duration::from_secs_f64(1.5));
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(b.saturating_sub(a), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn duration_sub_underflow_panics() {
+        let _ = Duration::from_secs(1) - Duration::from_secs(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn duration_from_negative_secs_panics() {
+        let _ = Duration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: Duration = [1u64, 2, 3].iter().map(|&s| Duration::from_secs(s)).sum();
+        assert_eq!(total, Duration::from_secs(6));
+    }
+
+    #[test]
+    fn instant_ordering_and_arithmetic() {
+        let t0 = Instant::ZERO;
+        let t1 = t0 + Duration::from_secs(4);
+        assert!(t1 > t0);
+        assert_eq!(t1 - t0, Duration::from_secs(4));
+        assert_eq!(t1.saturating_duration_since(t1), Duration::ZERO);
+        assert_eq!(t0.saturating_duration_since(t1), Duration::ZERO);
+        assert_eq!(t1.max(t0), t1);
+        assert_eq!(t1.min(t0), t0);
+    }
+
+    #[test]
+    #[should_panic(expected = "later")]
+    fn instant_duration_since_panics_when_reversed() {
+        Instant::ZERO.duration_since(Instant::from_secs(1));
+    }
+
+    #[test]
+    fn interval_overlap_half_open() {
+        let a = Interval::new(Instant::from_secs(0), Instant::from_secs(5));
+        let touching = Interval::new(Instant::from_secs(5), Instant::from_secs(7));
+        let inside = Interval::new(Instant::from_secs(2), Instant::from_secs(3));
+        let straddle = Interval::new(Instant::from_secs(4), Instant::from_secs(6));
+        assert!(!a.overlaps(touching));
+        assert!(!touching.overlaps(a));
+        assert!(a.overlaps(inside));
+        assert!(inside.overlaps(a));
+        assert!(a.overlaps(straddle));
+    }
+
+    #[test]
+    fn empty_interval_never_overlaps() {
+        let a = Interval::new(Instant::from_secs(0), Instant::from_secs(5));
+        let empty = Interval::empty_at(Instant::from_secs(2));
+        assert!(empty.is_empty());
+        assert!(!a.overlaps(empty));
+        assert!(!empty.overlaps(a));
+        assert!(!empty.overlaps(empty));
+    }
+
+    #[test]
+    fn interval_contains_and_hull() {
+        let a = Interval::new(Instant::from_secs(1), Instant::from_secs(3));
+        assert!(a.contains(Instant::from_secs(1)));
+        assert!(a.contains(Instant::from_secs(2)));
+        assert!(!a.contains(Instant::from_secs(3)));
+        let b = Interval::new(Instant::from_secs(5), Instant::from_secs(6));
+        let h = a.hull(b);
+        assert_eq!(h.start, Instant::from_secs(1));
+        assert_eq!(h.end, Instant::from_secs(6));
+    }
+
+    #[test]
+    fn peak_overlap_counts_simultaneity() {
+        let iv = |a: u64, b: u64| Interval::new(Instant::from_secs(a), Instant::from_secs(b));
+        assert_eq!(peak_overlap([]), 0);
+        assert_eq!(peak_overlap([iv(0, 5)]), 1);
+        assert_eq!(
+            peak_overlap([iv(0, 5), iv(5, 9)]),
+            1,
+            "touching do not overlap"
+        );
+        assert_eq!(peak_overlap([iv(0, 5), iv(1, 3), iv(2, 4)]), 3);
+        assert_eq!(
+            peak_overlap([iv(0, 5), Interval::empty_at(Instant::from_secs(2))]),
+            1
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Duration::from_secs_f64(1.5).to_string(), "1.5s");
+        assert_eq!(Instant::from_secs(2).to_string(), "t=2.0s");
+        let iv = Interval::new(Instant::ZERO, Instant::from_secs(1));
+        assert_eq!(iv.to_string(), "[0.0s, 1.0s)");
+    }
+}

@@ -1,0 +1,160 @@
+//! Transport-time models: how long a fluid plug takes to traverse a
+//! channel.
+//!
+//! The paper (following Liu et al., DAC'17) assumes a **constant**
+//! transport time `t_c` between any two components, because channel lengths
+//! are unknown at scheduling time. That assumption deserves checking once
+//! routing *has* determined the lengths: this module provides the constant
+//! model plus a physical pressure-driven model, so a synthesized chip can
+//! be audited for transports whose real travel time would exceed the `t_c`
+//! the schedule was built with (see `mfb-core`'s transport-slack analysis).
+//!
+//! The physical model is plane-Poiseuille flow in a rectangular PDMS
+//! channel: mean velocity `v = Δp·h² / (12·μ·L)` for a channel of height
+//! `h`, length `L`, driven by pressure `Δp`, with fluid viscosity `μ`
+//! (the aspect-ratio correction factor is absorbed into an effective
+//! height). Typical FBMB numbers — `Δp ≈ 20 kPa`, `h ≈ 100 µm`,
+//! `μ ≈ 1 mPa·s` — give plug velocities of a few tens of mm/s, so a
+//! 100 mm channel is traversed in well under the paper's 2 s.
+
+use crate::time::Duration;
+use std::fmt::Debug;
+
+/// Computes the travel time of a fluid plug over a channel of the given
+/// physical length.
+pub trait TransportModel: Debug + Send + Sync {
+    /// Travel time over `length_mm` millimetres of channel.
+    fn transport_time(&self, length_mm: f64) -> Duration;
+}
+
+/// The paper's model: every transport takes the same constant `t_c`,
+/// regardless of distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConstantTc {
+    /// The constant transport time.
+    pub t_c: Duration,
+}
+
+impl ConstantTc {
+    /// The paper's default, `t_c = 2 s`.
+    pub fn paper() -> Self {
+        ConstantTc {
+            t_c: Duration::from_secs(2),
+        }
+    }
+}
+
+impl TransportModel for ConstantTc {
+    fn transport_time(&self, _length_mm: f64) -> Duration {
+        self.t_c
+    }
+}
+
+/// Pressure-driven laminar flow in a rectangular channel (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PressureDriven {
+    /// Driving pressure, kPa.
+    pub pressure_kpa: f64,
+    /// Effective channel height, µm.
+    pub channel_height_um: f64,
+    /// Dynamic viscosity, mPa·s (water ≈ 1).
+    pub viscosity_mpa_s: f64,
+    /// Characteristic driven length, mm: the channel segment over which the
+    /// pressure drop acts (typically the routed path length itself; using a
+    /// fixed reference keeps velocity constant per chip).
+    pub reference_length_mm: f64,
+}
+
+impl PressureDriven {
+    /// Typical PDMS biochip operating point: 20 kPa, 100 µm channels,
+    /// aqueous samples, 100 mm reference length.
+    pub fn typical_pdms() -> Self {
+        PressureDriven {
+            pressure_kpa: 20.0,
+            channel_height_um: 100.0,
+            viscosity_mpa_s: 1.0,
+            reference_length_mm: 100.0,
+        }
+    }
+
+    /// Mean plug velocity, mm/s.
+    pub fn velocity_mm_per_s(&self) -> f64 {
+        // v = Δp h² / (12 μ L), SI then converted to mm/s.
+        let dp = self.pressure_kpa * 1e3; // Pa
+        let h = self.channel_height_um * 1e-6; // m
+        let mu = self.viscosity_mpa_s * 1e-3; // Pa·s
+        let l = self.reference_length_mm * 1e-3; // m
+        let v = dp * h * h / (12.0 * mu * l); // m/s
+        v * 1e3
+    }
+}
+
+impl TransportModel for PressureDriven {
+    fn transport_time(&self, length_mm: f64) -> Duration {
+        assert!(
+            length_mm.is_finite() && length_mm >= 0.0,
+            "channel length must be non-negative, got {length_mm}"
+        );
+        let v = self.velocity_mm_per_s();
+        Duration::from_secs_f64(length_mm / v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_model_ignores_length() {
+        let m = ConstantTc::paper();
+        assert_eq!(m.transport_time(1.0), Duration::from_secs(2));
+        assert_eq!(m.transport_time(5000.0), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn typical_pdms_velocity_is_tens_of_mm_per_s() {
+        let m = PressureDriven::typical_pdms();
+        let v = m.velocity_mm_per_s();
+        // Δp h²/(12 μ L) = 20e3 * (1e-4)² / (12 * 1e-3 * 0.1) ≈ 0.167 m/s.
+        assert!((100.0..300.0).contains(&v), "v = {v} mm/s");
+    }
+
+    #[test]
+    fn pressure_model_is_linear_in_length() {
+        let m = PressureDriven::typical_pdms();
+        let t100 = m.transport_time(100.0).as_secs_f64();
+        let t200 = m.transport_time(200.0).as_secs_f64();
+        assert!((t200 - 2.0 * t100).abs() < 0.11, "{t100} vs {t200}");
+    }
+
+    #[test]
+    fn paper_tc_covers_typical_chip_distances() {
+        // A 2 s t_c is conservative for chip-scale distances under typical
+        // operating pressure — the paper's assumption is physically sound.
+        let m = PressureDriven::typical_pdms();
+        let crossing = m.transport_time(300.0); // a full 30-cell diagonal
+        assert!(
+            crossing <= Duration::from_secs(2),
+            "300 mm takes {crossing}"
+        );
+    }
+
+    #[test]
+    fn higher_pressure_is_faster() {
+        let slow = PressureDriven {
+            pressure_kpa: 5.0,
+            ..PressureDriven::typical_pdms()
+        };
+        let fast = PressureDriven {
+            pressure_kpa: 50.0,
+            ..PressureDriven::typical_pdms()
+        };
+        assert!(fast.transport_time(100.0) < slow.transport_time(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_length() {
+        PressureDriven::typical_pdms().transport_time(-1.0);
+    }
+}

@@ -1,0 +1,303 @@
+//! Wash-time models: how long it takes to flush a contaminant out of a
+//! component or channel.
+//!
+//! Per the paper's §II-B (following Hu et al., TCAD'16), wash time is
+//! dominated by the contaminant's diffusion coefficient; channel length,
+//! channel width and buffer pressure are second-order and ignored. A *lower*
+//! diffusion coefficient means a *longer* wash.
+//!
+//! The default model, [`LogLinearWash`], interpolates linearly in
+//! `log10(D)` between the two anchor points published in the paper:
+//! `D = 1e-5 cm²/s → 0.2 s` (small molecules such as a lysis buffer) and
+//! `D = 5e-8 cm²/s → 6 s` (large particles such as tobacco mosaic virus),
+//! clamped to a configurable maximum.
+
+use crate::fluid::DiffusionCoefficient;
+use crate::time::Duration;
+use std::fmt::Debug;
+
+/// Maps a contaminant's diffusion coefficient to the buffer-flush time needed
+/// to remove its residue from a component or a channel cell.
+///
+/// Implementations must be monotone: a smaller coefficient never yields a
+/// shorter wash. The property-based tests in this crate enforce that for the
+/// provided models.
+pub trait WashModel: Debug + Send + Sync {
+    /// Wash time for a residue with diffusion coefficient `d`.
+    fn wash_time(&self, d: DiffusionCoefficient) -> Duration;
+}
+
+/// The default log-linear wash model (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use mfb_model::prelude::*;
+/// use mfb_model::wash::LogLinearWash;
+///
+/// let model = LogLinearWash::paper_calibrated();
+/// assert_eq!(model.wash_time(DiffusionCoefficient::SMALL_MOLECULE),
+///            Duration::from_secs_f64(0.2));
+/// assert_eq!(model.wash_time(DiffusionCoefficient::VIRUS),
+///            Duration::from_secs(6));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogLinearWash {
+    /// Wash time at the fast-diffusion anchor.
+    t_fast: f64,
+    /// `log10` of the fast-diffusion anchor coefficient.
+    log_d_fast: f64,
+    /// Seconds of extra wash per decade of diffusion-coefficient decrease.
+    secs_per_decade: f64,
+    /// Upper clamp on wash time, seconds.
+    max_secs: f64,
+}
+
+impl LogLinearWash {
+    /// Builds a model through two anchor points
+    /// `(d_fast → t_fast)` and `(d_slow → t_slow)`, clamped to `max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_fast <= d_slow` or `t_fast >= t_slow` (the model must
+    /// slope the right way).
+    pub fn from_anchors(
+        d_fast: DiffusionCoefficient,
+        t_fast: Duration,
+        d_slow: DiffusionCoefficient,
+        t_slow: Duration,
+        max: Duration,
+    ) -> Self {
+        assert!(
+            d_fast > d_slow,
+            "fast-diffusion anchor must have the larger coefficient"
+        );
+        assert!(
+            t_fast < t_slow,
+            "fast-diffusion anchor must have the shorter wash time"
+        );
+        let decades = d_fast.log10() - d_slow.log10();
+        LogLinearWash {
+            t_fast: t_fast.as_secs_f64(),
+            log_d_fast: d_fast.log10(),
+            secs_per_decade: (t_slow.as_secs_f64() - t_fast.as_secs_f64()) / decades,
+            max_secs: max.as_secs_f64(),
+        }
+    }
+
+    /// The diffusion coefficient whose residue washes in exactly `wash`
+    /// under this model (the inverse of [`WashModel::wash_time`], ignoring
+    /// the clamp). Useful for constructing benchmark fluids with prescribed
+    /// wash times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wash` exceeds the model's clamp (no coefficient reaches it).
+    pub fn coefficient_for(&self, wash: Duration) -> DiffusionCoefficient {
+        let secs = wash.as_secs_f64();
+        assert!(
+            secs <= self.max_secs,
+            "wash time {wash} exceeds the model's {} s clamp",
+            self.max_secs
+        );
+        let decades_slower = (secs - self.t_fast) / self.secs_per_decade;
+        DiffusionCoefficient::new(10f64.powf(self.log_d_fast - decades_slower))
+            .expect("inverse produced a valid coefficient")
+    }
+
+    /// The model calibrated on the paper's two published anchor points, with
+    /// wash time clamped to 10 s (the paper's worst-case residue, and its
+    /// initial routing-cell weight `w_e = 10`).
+    pub fn paper_calibrated() -> Self {
+        LogLinearWash::from_anchors(
+            DiffusionCoefficient::SMALL_MOLECULE,
+            Duration::from_secs_f64(0.2),
+            DiffusionCoefficient::VIRUS,
+            Duration::from_secs(6),
+            Duration::from_secs(10),
+        )
+    }
+}
+
+impl Default for LogLinearWash {
+    fn default() -> Self {
+        LogLinearWash::paper_calibrated()
+    }
+}
+
+impl WashModel for LogLinearWash {
+    fn wash_time(&self, d: DiffusionCoefficient) -> Duration {
+        let decades_slower = self.log_d_fast - d.log10();
+        let secs = (self.t_fast + self.secs_per_decade * decades_slower).clamp(0.0, self.max_secs);
+        Duration::from_secs_f64(secs)
+    }
+}
+
+/// A wash model defined by an explicit table of `(coefficient, wash time)`
+/// break-points, evaluated as a step function: a residue pays the wash time
+/// of the smallest tabulated coefficient that is at least its own, and
+/// contaminants diffusing faster than every break-point pay the `floor`.
+///
+/// Useful for reproducing published figures that tabulate wash times
+/// per fluid (the paper's Fig. 2(b)) rather than deriving them from a curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableWash {
+    /// Break-points sorted by ascending coefficient.
+    table: Vec<(DiffusionCoefficient, Duration)>,
+    /// Wash time for coefficients faster than every break-point.
+    floor: Duration,
+}
+
+impl TableWash {
+    /// Builds a table model. `entries` may be in any order; `floor` is the
+    /// wash time for contaminants diffusing faster than all entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty or the implied map is not monotone
+    /// (a faster-diffusing entry with a longer wash time).
+    pub fn new(mut entries: Vec<(DiffusionCoefficient, Duration)>, floor: Duration) -> Self {
+        assert!(
+            !entries.is_empty(),
+            "table wash model needs at least one entry"
+        );
+        entries.sort_by_key(|entry| entry.0);
+        for w in entries.windows(2) {
+            assert!(
+                w[0].1 >= w[1].1,
+                "wash table must be monotone: slower diffusion => longer wash"
+            );
+        }
+        assert!(
+            floor <= entries.last().expect("non-empty").1,
+            "floor must not exceed the fastest entry's wash time"
+        );
+        TableWash {
+            table: entries,
+            floor,
+        }
+    }
+}
+
+impl WashModel for TableWash {
+    fn wash_time(&self, d: DiffusionCoefficient) -> Duration {
+        // Entries are sorted ascending by coefficient; pick the first entry
+        // with coefficient >= d (the tightest bound on this contaminant).
+        for &(dc, t) in &self.table {
+            if dc >= d {
+                return t;
+            }
+        }
+        self.floor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchors_reproduce() {
+        let m = LogLinearWash::paper_calibrated();
+        assert_eq!(
+            m.wash_time(DiffusionCoefficient::SMALL_MOLECULE),
+            Duration::from_secs_f64(0.2)
+        );
+        assert_eq!(
+            m.wash_time(DiffusionCoefficient::VIRUS),
+            Duration::from_secs(6)
+        );
+    }
+
+    #[test]
+    fn coefficient_for_inverts_wash_time() {
+        let m = LogLinearWash::paper_calibrated();
+        for secs in [0.2, 1.0, 2.0, 6.0, 9.5] {
+            let want = Duration::from_secs_f64(secs);
+            let d = m.coefficient_for(want);
+            assert_eq!(m.wash_time(d), want, "round trip failed at {secs} s");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "clamp")]
+    fn coefficient_for_rejects_beyond_clamp() {
+        LogLinearWash::paper_calibrated().coefficient_for(Duration::from_secs(11));
+    }
+
+    #[test]
+    fn clamps_at_maximum() {
+        let m = LogLinearWash::paper_calibrated();
+        let very_slow = DiffusionCoefficient::new(1e-12).unwrap();
+        assert_eq!(m.wash_time(very_slow), Duration::from_secs(10));
+    }
+
+    #[test]
+    fn fast_diffusion_washes_quickly() {
+        let m = LogLinearWash::paper_calibrated();
+        let very_fast = DiffusionCoefficient::new(1e-3).unwrap();
+        assert!(m.wash_time(very_fast) <= Duration::from_secs_f64(0.2));
+    }
+
+    #[test]
+    fn monotone_between_anchors() {
+        let m = LogLinearWash::paper_calibrated();
+        let mut last = Duration::ZERO;
+        // Sweep from 1e-5 down to 1e-9.
+        for exp10 in 0..=40 {
+            let d = DiffusionCoefficient::new(1e-5 / 10f64.powf(exp10 as f64 / 10.0)).unwrap();
+            let w = m.wash_time(d);
+            assert!(w >= last, "wash time decreased at {d}");
+            last = w;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "larger coefficient")]
+    fn rejects_inverted_anchors() {
+        LogLinearWash::from_anchors(
+            DiffusionCoefficient::VIRUS,
+            Duration::from_secs(1),
+            DiffusionCoefficient::SMALL_MOLECULE,
+            Duration::from_secs(2),
+            Duration::from_secs(10),
+        );
+    }
+
+    #[test]
+    fn table_model_steps() {
+        let t = TableWash::new(
+            vec![
+                (DiffusionCoefficient::SMALL_MOLECULE, Duration::from_secs(2)),
+                (DiffusionCoefficient::VIRUS, Duration::from_secs(10)),
+            ],
+            Duration::from_secs(1),
+        );
+        // Exactly at an entry.
+        assert_eq!(
+            t.wash_time(DiffusionCoefficient::SMALL_MOLECULE),
+            Duration::from_secs(2)
+        );
+        // Slower than every entry: pays the slowest (virus) bucket.
+        let slower = DiffusionCoefficient::new(1e-9).unwrap();
+        assert_eq!(t.wash_time(slower), Duration::from_secs(10));
+        // Between the entries: pays the small-molecule bucket.
+        let mid = DiffusionCoefficient::new(1e-6).unwrap();
+        assert_eq!(t.wash_time(mid), Duration::from_secs(2));
+        // Faster than everything: floor.
+        let fast = DiffusionCoefficient::new(1e-3).unwrap();
+        assert_eq!(t.wash_time(fast), Duration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn table_rejects_non_monotone() {
+        TableWash::new(
+            vec![
+                (DiffusionCoefficient::SMALL_MOLECULE, Duration::from_secs(9)),
+                (DiffusionCoefficient::VIRUS, Duration::from_secs(1)),
+            ],
+            Duration::ZERO,
+        );
+    }
+}

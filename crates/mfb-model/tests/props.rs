@@ -1,0 +1,145 @@
+//! Property-based tests for the core model invariants.
+
+use mfb_model::prelude::*;
+use proptest::prelude::*;
+
+fn arb_duration() -> impl Strategy<Value = Duration> {
+    (0u64..100_000).prop_map(Duration::from_ticks)
+}
+
+fn arb_instant() -> impl Strategy<Value = Instant> {
+    (0u64..100_000).prop_map(Instant::from_ticks)
+}
+
+fn arb_diffusion() -> impl Strategy<Value = DiffusionCoefficient> {
+    // Log-uniform across the biologically plausible range.
+    (-9.0f64..-4.0).prop_map(|e| DiffusionCoefficient::new(10f64.powf(e)).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn duration_add_commutes(a in arb_duration(), b in arb_duration()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn duration_sub_inverts_add(a in arb_duration(), b in arb_duration()) {
+        prop_assert_eq!((a + b) - b, a);
+    }
+
+    #[test]
+    fn duration_secs_roundtrip(a in arb_duration()) {
+        prop_assert_eq!(Duration::from_secs_f64(a.as_secs_f64()), a);
+    }
+
+    #[test]
+    fn instant_duration_since_inverts_add(t in arb_instant(), d in arb_duration()) {
+        prop_assert_eq!((t + d).duration_since(t), d);
+    }
+
+    #[test]
+    fn interval_overlap_is_symmetric(
+        s1 in arb_instant(), l1 in arb_duration(),
+        s2 in arb_instant(), l2 in arb_duration(),
+    ) {
+        let a = Interval::new(s1, s1 + l1);
+        let b = Interval::new(s2, s2 + l2);
+        prop_assert_eq!(a.overlaps(b), b.overlaps(a));
+    }
+
+    #[test]
+    fn interval_hull_covers_both(
+        s1 in arb_instant(), l1 in arb_duration(),
+        s2 in arb_instant(), l2 in arb_duration(),
+    ) {
+        let a = Interval::new(s1, s1 + l1);
+        let b = Interval::new(s2, s2 + l2);
+        let h = a.hull(b);
+        prop_assert!(h.start <= a.start && h.start <= b.start);
+        prop_assert!(h.end >= a.end && h.end >= b.end);
+    }
+
+    #[test]
+    fn nonoverlap_means_ordered(
+        s1 in arb_instant(), l1 in (1u64..1000).prop_map(Duration::from_ticks),
+        s2 in arb_instant(), l2 in (1u64..1000).prop_map(Duration::from_ticks),
+    ) {
+        let a = Interval::new(s1, s1 + l1);
+        let b = Interval::new(s2, s2 + l2);
+        if !a.overlaps(b) {
+            prop_assert!(a.end <= b.start || b.end <= a.start);
+        }
+    }
+
+    #[test]
+    fn wash_model_is_monotone(d1 in arb_diffusion(), d2 in arb_diffusion()) {
+        let m = LogLinearWash::paper_calibrated();
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        // Slower diffusion (smaller coefficient) never washes faster.
+        prop_assert!(m.wash_time(lo) >= m.wash_time(hi));
+    }
+
+    #[test]
+    fn wash_time_is_bounded(d in arb_diffusion()) {
+        let m = LogLinearWash::paper_calibrated();
+        let w = m.wash_time(d);
+        prop_assert!(w <= Duration::from_secs(10));
+    }
+
+    #[test]
+    fn manhattan_is_a_metric(
+        x1 in 0u32..100, y1 in 0u32..100,
+        x2 in 0u32..100, y2 in 0u32..100,
+        x3 in 0u32..100, y3 in 0u32..100,
+    ) {
+        let a = CellPos::new(x1, y1);
+        let b = CellPos::new(x2, y2);
+        let c = CellPos::new(x3, y3);
+        prop_assert_eq!(a.manhattan(b), b.manhattan(a));
+        prop_assert_eq!(a.manhattan(a), 0);
+        prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+    }
+
+    #[test]
+    fn rect_intersects_iff_shares_cell(
+        x1 in 0u32..12, y1 in 0u32..12, w1 in 1u32..5, h1 in 1u32..5,
+        x2 in 0u32..12, y2 in 0u32..12, w2 in 1u32..5, h2 in 1u32..5,
+    ) {
+        let a = CellRect::new(CellPos::new(x1, y1), w1, h1);
+        let b = CellRect::new(CellPos::new(x2, y2), w2, h2);
+        let shares = a.cells().any(|c| b.contains(c));
+        prop_assert_eq!(a.intersects(b), shares);
+    }
+
+    #[test]
+    fn random_dag_builds_and_topo_is_consistent(
+        n in 1usize..40,
+        extra_edges in proptest::collection::vec((0usize..40, 0usize..40), 0..80),
+    ) {
+        let mut b = SequencingGraph::builder();
+        let d = DiffusionCoefficient::PROTEIN;
+        let ids: Vec<OpId> = (0..n)
+            .map(|_| b.operation(OperationKind::Mix, Duration::from_secs(1), d))
+            .collect();
+        // Only forward edges (i < j) are inserted, so the graph is acyclic
+        // by construction and build() must succeed.
+        for (i, j) in extra_edges {
+            if i < j && j < n {
+                let _ = b.edge(ids[i], ids[j]); // duplicates rejected, fine
+            }
+        }
+        let g = b.build().unwrap();
+        let mut pos = vec![0usize; g.len()];
+        for (k, &o) in g.topological_order().iter().enumerate() {
+            pos[o.index()] = k;
+        }
+        for (p, c) in g.edges() {
+            prop_assert!(pos[p.index()] < pos[c.index()]);
+        }
+        // Priority of any parent strictly exceeds each child's priority.
+        let prio = g.priority_values(Duration::from_secs(2));
+        for (p, c) in g.edges() {
+            prop_assert!(prio[p.index()] > prio[c.index()]);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the `.assay` text format: arbitrary graphs
+//! survive a write→parse round trip.
+
+use mfb_model::prelude::*;
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = OperationKind> {
+    prop_oneof![
+        Just(OperationKind::Mix),
+        Just(OperationKind::Heat),
+        Just(OperationKind::Filter),
+        Just(OperationKind::Detect),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn write_parse_roundtrip(
+        kinds in proptest::collection::vec(arb_kind(), 1..20),
+        durations in proptest::collection::vec(1u64..30, 1..20),
+        exponents in proptest::collection::vec(-9.0f64..-4.0, 1..20),
+        edges in proptest::collection::vec((0usize..20, 0usize..20), 0..30),
+        alloc in proptest::option::of(
+            (1u32..5, 0u32..4, 0u32..4, 0u32..4)
+                .prop_map(|(m, h, f, d)| Allocation::new(m, h, f, d))
+        ),
+    ) {
+        let n = kinds.len().min(durations.len()).min(exponents.len());
+        prop_assume!(n > 0);
+        let mut b = SequencingGraph::builder();
+        b.name("roundtrip");
+        let ids: Vec<OpId> = (0..n)
+            .map(|i| {
+                b.operation(
+                    kinds[i],
+                    Duration::from_secs(durations[i]),
+                    DiffusionCoefficient::new(10f64.powf(exponents[i])).unwrap(),
+                )
+            })
+            .collect();
+        for (i, j) in edges {
+            if i < j && j < n {
+                let _ = b.edge(ids[i], ids[j]);
+            }
+        }
+        let g = b.build().unwrap();
+
+        let text = write_assay(&g, alloc);
+        let parsed = parse_assay(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+
+        prop_assert_eq!(parsed.graph.len(), g.len());
+        prop_assert_eq!(parsed.graph.edge_count(), g.edge_count());
+        prop_assert_eq!(parsed.allocation, alloc);
+        prop_assert_eq!(parsed.graph.name(), g.name());
+        for (x, y) in g.ops().zip(parsed.graph.ops()) {
+            prop_assert_eq!(x.kind(), y.kind());
+            prop_assert_eq!(x.duration(), y.duration());
+            let dx = x.output_diffusion().cm2_per_s();
+            let dy = y.output_diffusion().cm2_per_s();
+            prop_assert!(((dx - dy) / dx).abs() < 1e-9, "{} vs {}", dx, dy);
+        }
+        // Topology preserved edge by edge.
+        let e1: Vec<_> = g.edges().collect();
+        let e2: Vec<_> = parsed.graph.edges().collect();
+        prop_assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(text in "\\PC{0,200}") {
+        // Errors are fine; panics are not.
+        let _ = parse_assay(&text);
+    }
+
+    #[test]
+    fn parser_never_panics_on_structured_garbage(
+        lines in proptest::collection::vec(
+            prop_oneof![
+                Just("op a mix 5s wash=1s".to_string()),
+                Just("edge a -> b".to_string()),
+                Just("alloc 1 2 3 4".to_string()),
+                Just("assay \"x\"".to_string()),
+                "\\PC{0,40}",
+            ],
+            0..20
+        )
+    ) {
+        let _ = parse_assay(&lines.join("\n"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Placement errors.
+
+use mfb_model::prelude::*;
+use std::fmt;
+
+/// Errors produced by the placers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum PlaceError {
+    /// The chip grid cannot hold all components with routing clearance.
+    GridTooSmall {
+        /// The grid that was attempted.
+        grid: GridSpec,
+    },
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::GridTooSmall { grid } => {
+                write!(f, "grid {grid} is too small for a legal placement")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_grid() {
+        let e = PlaceError::GridTooSmall {
+            grid: GridSpec::square(12),
+        };
+        assert!(e.to_string().contains("12x12"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Force-directed placement: a deterministic, annealing-free alternative.
+//!
+//! Classic Quinn/Breuer-style iteration adapted to the DCSA energy: each
+//! component is repeatedly moved to the legal position closest to the
+//! **priority-weighted centroid** of its net neighbours (the same
+//! `cp(i, j)` weights that drive the SA energy of Eq. (3)), until no move
+//! lowers the energy. Deterministic, no seed, usually within a few percent
+//! of the annealer on these problem sizes — and a useful second opinion in
+//! tests: if SA ever loses badly to this, the annealing schedule broke.
+
+use crate::error::PlaceError;
+use crate::floorplan::{packed_placement, Placement};
+use crate::nets::{energy, NetList};
+use mfb_model::prelude::*;
+
+/// Maximum sweeps over all components before giving up on convergence.
+const MAX_SWEEPS: usize = 40;
+
+/// Places `components` by iterated weighted-centroid moves (see module
+/// docs).
+///
+/// # Errors
+///
+/// Returns [`PlaceError::GridTooSmall`] when the deterministic initial
+/// packing does not fit.
+pub fn place_force_directed(
+    components: &ComponentSet,
+    nets: &NetList,
+    grid: GridSpec,
+) -> Result<Placement, PlaceError> {
+    let mut placement = packed_placement(components, grid)?;
+
+    // Accumulated pull per component: (neighbour id, weight).
+    let pulls: Vec<Vec<(ComponentId, f64)>> = {
+        let mut p = vec![Vec::new(); components.len()];
+        for n in nets.nets() {
+            p[n.a.index()].push((n.b, n.priority.max(1e-6)));
+            p[n.b.index()].push((n.a, n.priority.max(1e-6)));
+        }
+        p
+    };
+
+    let mut current = energy(&placement, nets);
+    for _sweep in 0..MAX_SWEEPS {
+        let mut moved = false;
+        for c in components.ids() {
+            if pulls[c.index()].is_empty() {
+                continue;
+            }
+            // Weighted centroid of neighbours' ports.
+            let (mut sx, mut sy, mut sw) = (0.0f64, 0.0f64, 0.0f64);
+            for &(nb, w) in &pulls[c.index()] {
+                let p = placement.port(nb);
+                sx += f64::from(p.x) * w;
+                sy += f64::from(p.y) * w;
+                sw += w;
+            }
+            let target = CellPos::new(
+                (sx / sw).round().clamp(0.0, f64::from(grid.width - 1)) as u32,
+                (sy / sw).round().clamp(0.0, f64::from(grid.height - 1)) as u32,
+            );
+
+            if let Some(rect) = nearest_legal(&placement, c, target) {
+                let old = placement.rect(c);
+                if rect != old {
+                    placement.set_rect(c, rect);
+                    let candidate = energy(&placement, nets);
+                    if candidate < current {
+                        current = candidate;
+                        moved = true;
+                    } else {
+                        placement.set_rect(c, old);
+                    }
+                }
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    debug_assert!(placement.is_legal());
+    Ok(placement)
+}
+
+/// The legal rectangle for `c` whose centre is nearest `target`, found by
+/// ring search outward from the target (bounded by the grid diameter).
+fn nearest_legal(placement: &Placement, c: ComponentId, target: CellPos) -> Option<CellRect> {
+    let grid = placement.grid();
+    let r = placement.rect(c);
+    let (w, h) = (r.width, r.height);
+    let max_x = grid.width.checked_sub(w)?;
+    let max_y = grid.height.checked_sub(h)?;
+    // Desired origin so the rect centres on the target.
+    let ox = target.x.saturating_sub(w / 2).min(max_x);
+    let oy = target.y.saturating_sub(h / 2).min(max_y);
+
+    let radius_cap = grid.width.max(grid.height);
+    for radius in 0..=radius_cap {
+        let mut best: Option<(u32, CellRect)> = None;
+        let lo_x = ox.saturating_sub(radius);
+        let hi_x = (ox + radius).min(max_x);
+        let lo_y = oy.saturating_sub(radius);
+        let hi_y = (oy + radius).min(max_y);
+        for yy in lo_y..=hi_y {
+            for xx in lo_x..=hi_x {
+                // Only the ring at this radius; interior was covered.
+                let on_ring = xx == lo_x || xx == hi_x || yy == lo_y || yy == hi_y;
+                if radius > 0 && !on_ring {
+                    continue;
+                }
+                let rect = CellRect::new(CellPos::new(xx, yy), w, h);
+                if placement.fits(c, rect) {
+                    let d = rect.center().manhattan(target);
+                    match best {
+                        Some((bd, _)) if bd <= d => {}
+                        _ => best = Some((d, rect)),
+                    }
+                }
+            }
+        }
+        if best.is_some() {
+            return best.map(|(_, rect)| rect);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::auto_grid;
+    use mfb_sched::list::{schedule, SchedulerConfig};
+
+    fn d() -> DiffusionCoefficient {
+        DiffusionCoefficient::PROTEIN
+    }
+
+    fn workload() -> (ComponentSet, NetList, GridSpec) {
+        let mut b = SequencingGraph::builder();
+        let m0 = b.operation(OperationKind::Mix, Duration::from_secs(5), d());
+        let m1 = b.operation(OperationKind::Mix, Duration::from_secs(5), d());
+        let h = b.operation(OperationKind::Heat, Duration::from_secs(3), d());
+        let f = b.operation(OperationKind::Filter, Duration::from_secs(3), d());
+        let dt = b.operation(OperationKind::Detect, Duration::from_secs(3), d());
+        b.edge(m0, h).unwrap();
+        b.edge(m1, h).unwrap();
+        b.edge(h, f).unwrap();
+        b.edge(f, dt).unwrap();
+        let g = b.build().unwrap();
+        let comps = Allocation::new(2, 1, 1, 1).instantiate(&ComponentLibrary::default());
+        let wash = LogLinearWash::paper_calibrated();
+        let s = schedule(&g, &comps, &wash, &SchedulerConfig::paper_baseline()).unwrap();
+        let nets = NetList::build(&s, &g, &wash, 0.6, 0.4);
+        let grid = auto_grid(&comps);
+        (comps, nets, grid)
+    }
+
+    #[test]
+    fn produces_legal_deterministic_placement() {
+        let (comps, nets, grid) = workload();
+        let a = place_force_directed(&comps, &nets, grid).unwrap();
+        let b = place_force_directed(&comps, &nets, grid).unwrap();
+        assert!(a.is_legal());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn improves_on_packed_start() {
+        let (comps, nets, grid) = workload();
+        let packed = packed_placement(&comps, grid).unwrap();
+        let forced = place_force_directed(&comps, &nets, grid).unwrap();
+        assert!(
+            energy(&forced, &nets) <= energy(&packed, &nets),
+            "centroid moves must not worsen the packing"
+        );
+    }
+
+    #[test]
+    fn stays_in_the_same_league_as_sa() {
+        let (comps, nets, grid) = workload();
+        let forced = place_force_directed(&comps, &nets, grid).unwrap();
+        let annealed =
+            crate::sa::place_sa(&comps, &nets, grid, &crate::sa::SaConfig::paper()).unwrap();
+        let ef = energy(&forced, &nets);
+        let ea = energy(&annealed, &nets);
+        assert!(
+            ef <= ea * 3.0 + 10.0,
+            "force-directed ({ef:.1}) should stay within 3x of SA ({ea:.1})"
+        );
+    }
+
+    #[test]
+    fn tiny_grid_is_rejected() {
+        let (comps, nets, _) = workload();
+        let err = place_force_directed(&comps, &nets, GridSpec::square(4));
+        assert!(matches!(err, Err(PlaceError::GridTooSmall { .. })));
+    }
+}

@@ -1,0 +1,343 @@
+//! Simulated-annealing placement (paper Algorithm 2, lines 1–8).
+//!
+//! Starts from a random legal placement and anneals with the classic
+//! Kirkpatrick schedule: at each temperature, `i_max` random transformation
+//! operations (translate / rotate / swap) are proposed and accepted when
+//! they lower the energy of Eq. (3) or with Metropolis probability
+//! `e^(-Δ/T)` otherwise; the temperature then cools by the factor `α`.
+
+use crate::error::PlaceError;
+use crate::floorplan::{auto_grid, packed_placement, Placement, CLEARANCE};
+use crate::nets::{energy_with_spacing, NetList, SpacingParams};
+use mfb_model::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Simulated-annealing parameters. [`SaConfig::paper`] reproduces the
+/// paper's reported settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaConfig {
+    /// Initial temperature `T_0`.
+    pub t0: f64,
+    /// Termination temperature `T_min`.
+    pub t_min: f64,
+    /// Cooling factor `α` per temperature step.
+    pub alpha: f64,
+    /// Proposals per temperature step, `I_max`.
+    pub i_max: u32,
+    /// RNG seed; same seed, same placement.
+    pub seed: u64,
+    /// Congestion guard added to Eq. (3); see
+    /// [`SpacingParams`]. Use [`SpacingParams::off`] for the paper's plain
+    /// energy.
+    pub spacing: SpacingParams,
+}
+
+impl SaConfig {
+    /// The paper's parameters: `T_0 = 10000`, `T_min = 1.0`, `α = 0.9`,
+    /// `I_max = 150`.
+    pub fn paper() -> Self {
+        SaConfig {
+            t0: 10_000.0,
+            t_min: 1.0,
+            alpha: 0.9,
+            i_max: 150,
+            seed: 0xD1CE,
+            spacing: SpacingParams::default_routing(),
+        }
+    }
+
+    /// Same schedule, different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        SaConfig::paper()
+    }
+}
+
+/// Places `components` on `grid` (use [`auto_grid`] when in doubt),
+/// minimising the net-weighted wirelength of Eq. (3).
+///
+/// # Errors
+///
+/// Returns [`PlaceError::GridTooSmall`] when no legal initial placement
+/// exists on the grid.
+pub fn place_sa(
+    components: &ComponentSet,
+    nets: &NetList,
+    grid: GridSpec,
+    config: &SaConfig,
+) -> Result<Placement, PlaceError> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut placement = initial_placement(components, grid, &mut rng)?;
+    if components.len() < 2 {
+        return Ok(placement); // nothing to optimise
+    }
+
+    let cost = |p: &Placement| energy_with_spacing(p, nets, config.spacing);
+    let mut current = cost(&placement);
+    let mut best = placement.clone();
+    let mut best_energy = current;
+    let mut t = config.t0;
+    while t > config.t_min {
+        for _ in 0..config.i_max {
+            let saved = placement.clone();
+            if !propose(&mut placement, components, &mut rng) {
+                continue;
+            }
+            let candidate = cost(&placement);
+            let delta = candidate - current;
+            if delta < 0.0 || rng.gen::<f64>() < (-delta / t).exp() {
+                current = candidate;
+                if current < best_energy {
+                    best_energy = current;
+                    best = placement.clone();
+                }
+            } else {
+                placement = saved;
+            }
+        }
+        t *= config.alpha;
+    }
+    debug_assert!(best.is_legal());
+    Ok(best)
+}
+
+/// Convenience: places on an automatically sized grid.
+pub fn place_sa_auto(
+    components: &ComponentSet,
+    nets: &NetList,
+    config: &SaConfig,
+) -> Result<Placement, PlaceError> {
+    place_sa(components, nets, auto_grid(components), config)
+}
+
+/// Builds a random legal placement by rejection sampling, falling back to a
+/// deterministic row packing when the grid is crowded.
+pub(crate) fn initial_placement(
+    components: &ComponentSet,
+    grid: GridSpec,
+    rng: &mut StdRng,
+) -> Result<Placement, PlaceError> {
+    let mut placement = Placement::new(
+        grid,
+        components
+            .iter()
+            .map(|c| {
+                CellRect::new(
+                    CellPos::new(0, 0),
+                    c.footprint().width,
+                    c.footprint().height,
+                )
+            })
+            .collect(),
+    );
+    'components: for c in components.iter() {
+        let fp = c.footprint();
+        for _ in 0..256 {
+            let max_x = grid.width.checked_sub(fp.width);
+            let max_y = grid.height.checked_sub(fp.height);
+            let (Some(max_x), Some(max_y)) = (max_x, max_y) else {
+                return Err(PlaceError::GridTooSmall { grid });
+            };
+            let origin = CellPos::new(rng.gen_range(0..=max_x), rng.gen_range(0..=max_y));
+            let rect = CellRect::new(origin, fp.width, fp.height);
+            // Only check against components placed so far.
+            let ok = grid.contains_rect(rect)
+                && components
+                    .iter()
+                    .take(c.id().index())
+                    .all(|o| !rect.inflated(CLEARANCE).intersects(placement.rect(o.id())));
+            if ok {
+                placement.set_rect(c.id(), rect);
+                continue 'components;
+            }
+        }
+        // Rejection failed: deterministic row packing for everything.
+        return packed_placement(components, grid);
+    }
+    debug_assert!(placement.is_legal());
+    Ok(placement)
+}
+
+/// Applies one random transformation operation; returns `false` when the
+/// proposal was illegal (placement left untouched).
+fn propose(placement: &mut Placement, components: &ComponentSet, rng: &mut StdRng) -> bool {
+    let grid = placement.grid();
+    let n = components.len() as u32;
+    match rng.gen_range(0..3u8) {
+        // Translate a component to a random position.
+        0 => {
+            let c = ComponentId::new(rng.gen_range(0..n));
+            let r = placement.rect(c);
+            let (Some(max_x), Some(max_y)) = (
+                grid.width.checked_sub(r.width),
+                grid.height.checked_sub(r.height),
+            ) else {
+                return false;
+            };
+            let rect = CellRect::new(
+                CellPos::new(rng.gen_range(0..=max_x), rng.gen_range(0..=max_y)),
+                r.width,
+                r.height,
+            );
+            if placement.fits(c, rect) {
+                placement.set_rect(c, rect);
+                true
+            } else {
+                false
+            }
+        }
+        // Rotate a component in place.
+        1 => {
+            let c = ComponentId::new(rng.gen_range(0..n));
+            let r = placement.rect(c);
+            let rect = CellRect::new(r.origin, r.height, r.width);
+            if placement.fits(c, rect) {
+                placement.set_rect(c, rect);
+                true
+            } else {
+                false
+            }
+        }
+        // Swap the origins of two components.
+        _ => {
+            if n < 2 {
+                return false;
+            }
+            let a = ComponentId::new(rng.gen_range(0..n));
+            let b = ComponentId::new(rng.gen_range(0..n));
+            if a == b {
+                return false;
+            }
+            let ra = placement.rect(a);
+            let rb = placement.rect(b);
+            let na = CellRect::new(rb.origin, ra.width, ra.height);
+            let nb = CellRect::new(ra.origin, rb.width, rb.height);
+            let saved = placement.clone();
+            placement.set_rect(a, na);
+            placement.set_rect(b, nb);
+            if placement.grid().contains_rect(na)
+                && placement.grid().contains_rect(nb)
+                && placement.is_legal()
+            {
+                true
+            } else {
+                *placement = saved;
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfb_sched::list::{schedule, SchedulerConfig};
+    use mfb_sched::prelude::Schedule;
+
+    fn d() -> DiffusionCoefficient {
+        DiffusionCoefficient::PROTEIN
+    }
+
+    fn chain_workload() -> (SequencingGraph, ComponentSet, Schedule) {
+        let mut b = SequencingGraph::builder();
+        let m = b.operation(OperationKind::Mix, Duration::from_secs(5), d());
+        let h = b.operation(OperationKind::Heat, Duration::from_secs(3), d());
+        let f = b.operation(OperationKind::Filter, Duration::from_secs(3), d());
+        let dt = b.operation(OperationKind::Detect, Duration::from_secs(4), d());
+        b.chain(&[m, h, f, dt]).unwrap();
+        let g = b.build().unwrap();
+        let comps = Allocation::new(1, 1, 1, 1).instantiate(&ComponentLibrary::default());
+        let s = schedule(
+            &g,
+            &comps,
+            &LogLinearWash::paper_calibrated(),
+            &SchedulerConfig::paper_dcsa(),
+        )
+        .unwrap();
+        (g, comps, s)
+    }
+
+    #[test]
+    fn sa_produces_legal_placement() {
+        let (g, comps, s) = chain_workload();
+        let nets = NetList::build(&s, &g, &LogLinearWash::paper_calibrated(), 0.6, 0.4);
+        let p = place_sa_auto(&comps, &nets, &SaConfig::paper()).unwrap();
+        assert!(p.is_legal());
+        assert_eq!(p.len(), comps.len());
+    }
+
+    #[test]
+    fn sa_is_deterministic_per_seed() {
+        let (g, comps, s) = chain_workload();
+        let nets = NetList::build(&s, &g, &LogLinearWash::paper_calibrated(), 0.6, 0.4);
+        let cfg = SaConfig::paper().with_seed(7);
+        let a = place_sa_auto(&comps, &nets, &cfg).unwrap();
+        let b = place_sa_auto(&comps, &nets, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sa_beats_random_start() {
+        let (g, comps, s) = chain_workload();
+        let nets = NetList::build(&s, &g, &LogLinearWash::paper_calibrated(), 0.6, 0.4);
+        let grid = auto_grid(&comps);
+        let mut rng = StdRng::seed_from_u64(SaConfig::paper().seed);
+        let start = initial_placement(&comps, grid, &mut rng).unwrap();
+        let cfg = SaConfig::paper();
+        let optimised = place_sa(&comps, &nets, grid, &cfg).unwrap();
+        assert!(
+            energy_with_spacing(&optimised, &nets, cfg.spacing)
+                <= energy_with_spacing(&start, &nets, cfg.spacing),
+            "SA must not worsen the start"
+        );
+    }
+
+    #[test]
+    fn tiny_grid_is_rejected() {
+        let comps = Allocation::new(4, 2, 2, 2).instantiate(&ComponentLibrary::default());
+        let nets = empty_netlist();
+        let err = place_sa(&comps, &nets, GridSpec::square(4), &SaConfig::paper());
+        assert!(matches!(err, Err(PlaceError::GridTooSmall { .. })));
+    }
+
+    fn empty_netlist() -> NetList {
+        let mut b = SequencingGraph::builder();
+        b.operation(OperationKind::Mix, Duration::from_secs(1), d());
+        let g = b.build().unwrap();
+        let comps = Allocation::new(1, 0, 0, 0).instantiate(&ComponentLibrary::default());
+        let s = schedule(
+            &g,
+            &comps,
+            &LogLinearWash::paper_calibrated(),
+            &SchedulerConfig::paper_dcsa(),
+        )
+        .unwrap();
+        NetList::build(&s, &g, &LogLinearWash::paper_calibrated(), 0.6, 0.4)
+    }
+
+    #[test]
+    fn single_component_placement() {
+        let comps = Allocation::new(1, 0, 0, 0).instantiate(&ComponentLibrary::default());
+        let nets = empty_netlist();
+        let p = place_sa_auto(&comps, &nets, &SaConfig::paper()).unwrap();
+        assert!(p.is_legal());
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn packing_fallback_handles_crowded_grids() {
+        // A grid just big enough that rejection sampling may fail but
+        // packing succeeds.
+        let comps = Allocation::new(3, 1, 0, 0).instantiate(&ComponentLibrary::default());
+        let nets = empty_netlist();
+        let p = place_sa(&comps, &nets, GridSpec::square(12), &SaConfig::paper()).unwrap();
+        assert!(p.is_legal());
+    }
+}

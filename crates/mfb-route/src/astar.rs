@@ -1,0 +1,409 @@
+//! Time-windowed, wash-weighted A* path search (paper Eq. (5)).
+//!
+//! The search runs over the routable cells of a [`RoutingGrid`]; a cell is
+//! expandable only if the task's occupancy window fits the cell's time slots
+//! and wash gaps ([`RoutingGrid::feasible`]), which makes the three conflict
+//! classes of §II-C.2 unrepresentable in any returned path. The cost of a
+//! path is its length plus the accumulated cell weights `w(i)` — wash times
+//! of current residues — so the search prefers sharing cheap-to-wash
+//! channels over breaking fresh ground, exactly the bias the paper uses to
+//! shorten total channel length.
+//!
+//! Components expose several port cells (every routable cell adjacent to
+//! their rectangle), so the search is multi-source / multi-target.
+
+use crate::grid::RoutingGrid;
+use mfb_model::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Cost units per cell of path length. Weights are measured in ticks
+/// (0.1 s), so with `LENGTH_COST = 10` one grid cell trades against one
+/// second of wash time.
+const LENGTH_COST: u64 = 10;
+
+/// Extra cost for traversing a component's access ring
+/// ([`RoutingGrid::is_ring`]). Keeps through-traffic away from ports so
+/// transit paths do not wall components in with wash shadows; endpoints pay
+/// it a constant number of times, so path comparisons are unaffected.
+const RING_TAX: u64 = 3 * LENGTH_COST;
+
+/// Search options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AstarOptions {
+    /// Add the per-cell weights `w(i)` to the cost (Eq. (5)). Disable to get
+    /// plain shortest-feasible-path search (used by the baseline router and
+    /// the weight ablation).
+    pub use_weights: bool,
+}
+
+impl Default for AstarOptions {
+    fn default() -> Self {
+        AstarOptions { use_weights: true }
+    }
+}
+
+/// Finds a feasible path from any cell of `sources` to any cell of
+/// `targets`, for a fluid occupying each visited cell during
+/// `window_of(cell)`.
+///
+/// The per-cell window lets callers model *where the fluid parks*: cells
+/// near the destination carry the full transport-plus-cache window, cells
+/// merely passed through carry only the transport window (see
+/// [`crate::router::RouterConfig::plug_cells`]).
+///
+/// Returns the cell sequence (source first), or `None` when no feasible
+/// path exists. Source and target sets may intersect; the path then is a
+/// single cell.
+pub fn find_path(
+    grid: &RoutingGrid,
+    sources: &[CellPos],
+    targets: &[CellPos],
+    window_of: impl Fn(CellPos) -> Interval + Copy,
+    fluid: OpId,
+    wash_of: impl Fn(OpId) -> Duration + Copy,
+    options: AstarOptions,
+) -> Option<Vec<CellPos>> {
+    if sources.is_empty() || targets.is_empty() {
+        return None;
+    }
+    let spec = grid.spec();
+    let n = spec.cell_count() as usize;
+    let mut is_target = vec![false; n];
+    for &t in targets {
+        if spec.contains(t) {
+            is_target[spec.index(t)] = true;
+        }
+    }
+
+    let h = |cell: CellPos| -> u64 {
+        targets
+            .iter()
+            .map(|&t| u64::from(cell.manhattan(t)))
+            .min()
+            .unwrap_or(0)
+            * LENGTH_COST
+    };
+    let cell_cost = |cell: CellPos| -> u64 {
+        LENGTH_COST
+            + if grid.is_ring(cell) { RING_TAX } else { 0 }
+            + if options.use_weights {
+                grid.weight(cell).as_ticks()
+            } else {
+                0
+            }
+    };
+
+    let mut dist = vec![u64::MAX; n];
+    let mut prev: Vec<Option<CellPos>> = vec![None; n];
+    // Heap entries: Reverse((f, g, y, x)) — deterministic tie-breaking.
+    let mut heap: BinaryHeap<Reverse<(u64, u64, u32, u32)>> = BinaryHeap::new();
+
+    for &s in sources {
+        if !grid.feasible(s, window_of(s), fluid, wash_of) {
+            continue;
+        }
+        let g = cell_cost(s);
+        let idx = spec.index(s);
+        if g < dist[idx] {
+            dist[idx] = g;
+            heap.push(Reverse((g + h(s), g, s.y, s.x)));
+        }
+    }
+
+    while let Some(Reverse((_, g, y, x))) = heap.pop() {
+        let cell = CellPos::new(x, y);
+        let idx = spec.index(cell);
+        if g > dist[idx] {
+            continue; // stale entry
+        }
+        if is_target[idx] {
+            // Reconstruct.
+            let mut path = vec![cell];
+            let mut cur = cell;
+            while let Some(p) = prev[spec.index(cur)] {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for nb in cell.neighbours(spec.width, spec.height) {
+            if !grid.feasible(nb, window_of(nb), fluid, wash_of) {
+                continue;
+            }
+            let ng = g + cell_cost(nb);
+            let nidx = spec.index(nb);
+            if ng < dist[nidx] {
+                dist[nidx] = ng;
+                prev[nidx] = Some(cell);
+                heap.push(Reverse((ng + h(nb), ng, nb.y, nb.x)));
+            }
+        }
+    }
+    None
+}
+
+/// Single-source(-set) shortest-path map under a fixed occupancy window:
+/// Dijkstra over all cells feasible for `window`, returning per-cell cost
+/// (`u64::MAX` where unreachable) and predecessor maps.
+///
+/// Used by the remote-parking fallback, which needs distances from the
+/// source ports *and* from the destination ports to every candidate parking
+/// cell.
+pub fn dijkstra_map(
+    grid: &RoutingGrid,
+    sources: &[CellPos],
+    window: Interval,
+    fluid: OpId,
+    wash_of: impl Fn(OpId) -> Duration + Copy,
+    options: AstarOptions,
+) -> (Vec<u64>, Vec<Option<CellPos>>) {
+    let spec = grid.spec();
+    let n = spec.cell_count() as usize;
+    let cell_cost = |cell: CellPos| -> u64 {
+        LENGTH_COST
+            + if grid.is_ring(cell) { RING_TAX } else { 0 }
+            + if options.use_weights {
+                grid.weight(cell).as_ticks()
+            } else {
+                0
+            }
+    };
+    let mut dist = vec![u64::MAX; n];
+    let mut prev: Vec<Option<CellPos>> = vec![None; n];
+    let mut heap: BinaryHeap<Reverse<(u64, u32, u32)>> = BinaryHeap::new();
+    for &s in sources {
+        if !grid.feasible(s, window, fluid, wash_of) {
+            continue;
+        }
+        let g = cell_cost(s);
+        let idx = spec.index(s);
+        if g < dist[idx] {
+            dist[idx] = g;
+            heap.push(Reverse((g, s.y, s.x)));
+        }
+    }
+    while let Some(Reverse((g, y, x))) = heap.pop() {
+        let cell = CellPos::new(x, y);
+        let idx = spec.index(cell);
+        if g > dist[idx] {
+            continue;
+        }
+        for nb in cell.neighbours(spec.width, spec.height) {
+            if !grid.feasible(nb, window, fluid, wash_of) {
+                continue;
+            }
+            let ng = g + cell_cost(nb);
+            let nidx = spec.index(nb);
+            if ng < dist[nidx] {
+                dist[nidx] = ng;
+                prev[nidx] = Some(cell);
+                heap.push(Reverse((ng, nb.y, nb.x)));
+            }
+        }
+    }
+    (dist, prev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfb_place::prelude::Placement;
+
+    fn wash2(_: OpId) -> Duration {
+        Duration::from_secs(2)
+    }
+
+    fn iv(a: u64, b: u64) -> Interval {
+        Interval::new(Instant::from_secs(a), Instant::from_secs(b))
+    }
+
+    fn open_grid() -> RoutingGrid {
+        let p = Placement::new(GridSpec::square(10), vec![]);
+        RoutingGrid::new(&p, Duration::from_secs(10))
+    }
+
+    #[test]
+    fn straight_line_on_empty_grid() {
+        let g = open_grid();
+        let path = find_path(
+            &g,
+            &[CellPos::new(0, 5)],
+            &[CellPos::new(9, 5)],
+            |_| iv(0, 10),
+            OpId::new(0),
+            wash2,
+            AstarOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(path.len(), 10);
+        assert_eq!(path[0], CellPos::new(0, 5));
+        assert_eq!(path[9], CellPos::new(9, 5));
+        // Consecutive cells are neighbours.
+        for w in path.windows(2) {
+            assert_eq!(w[0].manhattan(w[1]), 1);
+        }
+    }
+
+    #[test]
+    fn single_cell_when_source_is_target() {
+        let g = open_grid();
+        let path = find_path(
+            &g,
+            &[CellPos::new(3, 3)],
+            &[CellPos::new(3, 3)],
+            |_| iv(0, 5),
+            OpId::new(0),
+            wash2,
+            AstarOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(path, vec![CellPos::new(3, 3)]);
+    }
+
+    #[test]
+    fn routes_around_components() {
+        // A wall of component cells with one gap.
+        let p = Placement::new(
+            GridSpec::square(10),
+            vec![
+                CellRect::new(CellPos::new(4, 0), 2, 4),
+                CellRect::new(CellPos::new(4, 5), 2, 5),
+            ],
+        );
+        let g = RoutingGrid::new(&p, Duration::from_secs(10));
+        let path = find_path(
+            &g,
+            &[CellPos::new(0, 0)],
+            &[CellPos::new(9, 0)],
+            |_| iv(0, 10),
+            OpId::new(0),
+            wash2,
+            AstarOptions::default(),
+        )
+        .unwrap();
+        // Must pass through the gap row y = 4.
+        assert!(path.contains(&CellPos::new(4, 4)) && path.contains(&CellPos::new(5, 4)));
+    }
+
+    #[test]
+    fn avoids_time_conflicts() {
+        let mut g = open_grid();
+        // Reserve the entire middle column for an overlapping window.
+        for y in 0..10 {
+            g.reserve(
+                CellPos::new(5, y),
+                TaskId::new(0),
+                OpId::new(7),
+                iv(0, 100),
+                wash2,
+            );
+        }
+        let path = find_path(
+            &g,
+            &[CellPos::new(0, 5)],
+            &[CellPos::new(9, 5)],
+            |_| iv(0, 10),
+            OpId::new(1),
+            wash2,
+            AstarOptions::default(),
+        );
+        assert!(path.is_none(), "column blocks every crossing");
+
+        // A later window clears the wash gap (100 + 2 s) and is feasible.
+        let later = find_path(
+            &g,
+            &[CellPos::new(0, 5)],
+            &[CellPos::new(9, 5)],
+            |_| iv(102, 110),
+            OpId::new(1),
+            wash2,
+            AstarOptions::default(),
+        );
+        assert!(later.is_some());
+    }
+
+    #[test]
+    fn weights_attract_reuse() {
+        let mut g = open_grid();
+        // A previously-routed straight channel with cheap residue (2 s wash
+        // vs w_e = 10 s): rerouting the same endpoints later should ride it.
+        let fluid = OpId::new(0);
+        for x in 0..10 {
+            g.reserve(CellPos::new(x, 5), TaskId::new(0), fluid, iv(0, 5), wash2);
+        }
+        let path = find_path(
+            &g,
+            &[CellPos::new(0, 5)],
+            &[CellPos::new(9, 5)],
+            |_| iv(10, 20),
+            OpId::new(1),
+            wash2,
+            AstarOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            path.iter().all(|c| c.y == 5),
+            "expected the washed channel to be reused: {path:?}"
+        );
+    }
+
+    #[test]
+    fn without_weights_any_shortest_path_wins() {
+        let g = open_grid();
+        let path = find_path(
+            &g,
+            &[CellPos::new(0, 0)],
+            &[CellPos::new(3, 3)],
+            |_| iv(0, 5),
+            OpId::new(0),
+            wash2,
+            AstarOptions { use_weights: false },
+        )
+        .unwrap();
+        assert_eq!(path.len(), 7); // manhattan 6 + start cell
+    }
+
+    #[test]
+    fn multi_target_prefers_nearest() {
+        let g = open_grid();
+        let path = find_path(
+            &g,
+            &[CellPos::new(0, 0)],
+            &[CellPos::new(9, 9), CellPos::new(2, 0)],
+            |_| iv(0, 5),
+            OpId::new(0),
+            wash2,
+            AstarOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(*path.last().unwrap(), CellPos::new(2, 0));
+        assert_eq!(path.len(), 3);
+    }
+
+    #[test]
+    fn empty_sets_yield_none() {
+        let g = open_grid();
+        assert!(find_path(
+            &g,
+            &[],
+            &[CellPos::new(1, 1)],
+            |_| iv(0, 5),
+            OpId::new(0),
+            wash2,
+            AstarOptions::default()
+        )
+        .is_none());
+        assert!(find_path(
+            &g,
+            &[CellPos::new(1, 1)],
+            &[],
+            |_| iv(0, 5),
+            OpId::new(0),
+            wash2,
+            AstarOptions::default()
+        )
+        .is_none());
+    }
+}

@@ -1,0 +1,70 @@
+//! Routing errors.
+
+use mfb_model::prelude::*;
+use std::fmt;
+
+/// Errors produced by the routers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RouteError {
+    /// No conflict-free path exists for a transport task: the grid is too
+    /// congested. Retry on a larger grid.
+    Unroutable {
+        /// The task that could not be routed.
+        task: TaskId,
+    },
+    /// A component has no routable adjacent cell (it is walled in by other
+    /// components or the chip edge).
+    NoPorts {
+        /// The walled-in component.
+        component: ComponentId,
+    },
+    /// The baseline's correction loop exceeded its postponement budget —
+    /// the layout is pathologically congested.
+    CorrectionDiverged {
+        /// The task whose postponement exceeded the budget.
+        task: TaskId,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::Unroutable { task } => {
+                write!(f, "no conflict-free path for transport task {task}")
+            }
+            RouteError::NoPorts { component } => {
+                write!(f, "component {component} has no routable port cell")
+            }
+            RouteError::CorrectionDiverged { task } => {
+                write!(f, "correction could not resolve conflicts for task {task}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_mention_ids() {
+        assert!(RouteError::Unroutable {
+            task: TaskId::new(4)
+        }
+        .to_string()
+        .contains("tk4"));
+        assert!(RouteError::NoPorts {
+            component: ComponentId::new(2)
+        }
+        .to_string()
+        .contains("c2"));
+        assert!(RouteError::CorrectionDiverged {
+            task: TaskId::new(1)
+        }
+        .to_string()
+        .contains("tk1"));
+    }
+}

@@ -1,0 +1,46 @@
+//! Scheduling errors.
+
+use mfb_model::prelude::*;
+use std::fmt;
+
+/// Errors produced by binding and scheduling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// An operation requires a component kind of which none are allocated.
+    NoComponentForKind {
+        /// The operation that cannot be bound.
+        op: OpId,
+        /// The missing component kind.
+        kind: ComponentKind,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::NoComponentForKind { op, kind } => write!(
+                f,
+                "operation {op} needs a {kind}, but the allocation contains none"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_kind() {
+        let e = SchedError::NoComponentForKind {
+            op: OpId::new(3),
+            kind: ComponentKind::Filter,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("o3"));
+        assert!(msg.contains("filter"));
+    }
+}

@@ -1,0 +1,228 @@
+//! Chronological chip event logs: everything that happens on the chip, in
+//! time order.
+//!
+//! Useful for debugging a synthesis result, driving animations, and as a
+//! human-readable trace of what the assay physically does. Events carry
+//! **realized** times, so baseline postponements show up exactly where
+//! they bite.
+
+use mfb_model::prelude::*;
+use mfb_route::prelude::Routing;
+use mfb_sched::prelude::Schedule;
+use std::fmt;
+
+/// One thing happening on the chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ChipEvent {
+    /// An operation begins executing.
+    OpStarted {
+        /// The operation.
+        op: OpId,
+        /// Its component.
+        component: ComponentId,
+    },
+    /// An operation finishes; its output fluid now resides in the
+    /// component.
+    OpFinished {
+        /// The operation.
+        op: OpId,
+        /// Its component.
+        component: ComponentId,
+    },
+    /// A fluid leaves its source component into the channels.
+    Departed {
+        /// The transport task.
+        task: TaskId,
+        /// The fluid (by producing operation).
+        fluid: OpId,
+        /// Source component.
+        src: ComponentId,
+    },
+    /// A fluid finishes its channel journey and is consumed.
+    Consumed {
+        /// The transport task.
+        task: TaskId,
+        /// The fluid.
+        fluid: OpId,
+        /// Destination component.
+        dst: ComponentId,
+    },
+    /// A component wash begins (flushing the residue of `residue`).
+    WashStarted {
+        /// The washed component.
+        component: ComponentId,
+        /// Whose residue is removed.
+        residue: OpId,
+    },
+    /// A component wash completes; the component is clean.
+    WashFinished {
+        /// The washed component.
+        component: ComponentId,
+        /// Whose residue was removed.
+        residue: OpId,
+    },
+}
+
+impl fmt::Display for ChipEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChipEvent::OpStarted { op, component } => write!(f, "{op} starts on {component}"),
+            ChipEvent::OpFinished { op, component } => {
+                write!(f, "{op} finishes on {component}")
+            }
+            ChipEvent::Departed { task, fluid, src } => {
+                write!(f, "{task}: out({fluid}) departs {src}")
+            }
+            ChipEvent::Consumed { task, fluid, dst } => {
+                write!(f, "{task}: out({fluid}) consumed at {dst}")
+            }
+            ChipEvent::WashStarted { component, residue } => {
+                write!(f, "wash of {component} begins (residue of {residue})")
+            }
+            ChipEvent::WashFinished { component, residue } => {
+                write!(f, "{component} clean (residue of {residue} flushed)")
+            }
+        }
+    }
+}
+
+/// Builds the chronological event log of a solution, under the routing's
+/// realized times. Events at equal instants order deterministically
+/// (op events before transport events before washes, then by id).
+pub fn event_log(schedule: &Schedule, routing: &Routing) -> Vec<(Instant, ChipEvent)> {
+    let mut events: Vec<(Instant, u8, u32, ChipEvent)> = Vec::new();
+    let realized = &routing.realized;
+
+    for s in schedule.ops() {
+        events.push((
+            realized.start[s.op.index()],
+            0,
+            s.op.index() as u32,
+            ChipEvent::OpStarted {
+                op: s.op,
+                component: s.component,
+            },
+        ));
+        events.push((
+            realized.end[s.op.index()],
+            1,
+            s.op.index() as u32,
+            ChipEvent::OpFinished {
+                op: s.op,
+                component: s.component,
+            },
+        ));
+    }
+    for t in schedule.transports() {
+        // Realized channel windows live on the routed path.
+        let (depart, consumed) = match routing.paths.get(t.id.index()) {
+            Some(p) if !p.is_empty() => {
+                let hull = p.window_hull();
+                (hull.start, hull.end)
+            }
+            _ => (t.depart, t.consumed_at),
+        };
+        events.push((
+            depart,
+            2,
+            t.id.index() as u32,
+            ChipEvent::Departed {
+                task: t.id,
+                fluid: t.fluid,
+                src: t.src,
+            },
+        ));
+        events.push((
+            consumed,
+            3,
+            t.id.index() as u32,
+            ChipEvent::Consumed {
+                task: t.id,
+                fluid: t.fluid,
+                dst: t.dst,
+            },
+        ));
+    }
+    for (i, w) in schedule.washes().enumerate() {
+        events.push((
+            w.start,
+            4,
+            i as u32,
+            ChipEvent::WashStarted {
+                component: w.component,
+                residue: w.residue,
+            },
+        ));
+        events.push((
+            w.end,
+            5,
+            i as u32,
+            ChipEvent::WashFinished {
+                component: w.component,
+                residue: w.residue,
+            },
+        ));
+    }
+
+    events.sort_by_key(|&(t, class, id, _)| (t, class, id));
+    events.into_iter().map(|(t, _, _, e)| (t, e)).collect()
+}
+
+/// Renders an event log as readable text, one event per line.
+pub fn render_event_log(events: &[(Instant, ChipEvent)]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for (t, e) in events {
+        let _ = writeln!(s, "{:>8.1}s  {}", t.as_secs_f64(), e);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::test_support::solved_instance;
+
+    #[test]
+    fn log_covers_every_op_and_transport() {
+        let (g, _comps, s, _p, r, _w) = solved_instance();
+        let log = event_log(&s, &r);
+        let starts = log
+            .iter()
+            .filter(|(_, e)| matches!(e, ChipEvent::OpStarted { .. }))
+            .count();
+        let finishes = log
+            .iter()
+            .filter(|(_, e)| matches!(e, ChipEvent::OpFinished { .. }))
+            .count();
+        assert_eq!(starts, g.len());
+        assert_eq!(finishes, g.len());
+        let departs = log
+            .iter()
+            .filter(|(_, e)| matches!(e, ChipEvent::Departed { .. }))
+            .count();
+        assert_eq!(departs, s.transports().len());
+    }
+
+    #[test]
+    fn log_is_chronological() {
+        let (_g, _c, s, _p, r, _w) = solved_instance();
+        let log = event_log(&s, &r);
+        for w in log.windows(2) {
+            assert!(w[0].0 <= w[1].0, "out of order: {:?} then {:?}", w[0], w[1]);
+        }
+        // The last event lands at the assay completion instant.
+        assert_eq!(log.last().unwrap().0, s.completion_time());
+    }
+
+    #[test]
+    fn renders_readable_lines() {
+        let (_g, _c, s, _p, r, _w) = solved_instance();
+        let log = event_log(&s, &r);
+        let text = render_event_log(&log);
+        assert_eq!(text.lines().count(), log.len());
+        assert!(text.contains("starts on"));
+        assert!(text.contains("consumed at"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Mutation testing for the replay validator: random corruptions of a
+//! valid solution must be detected (or be provably harmless).
+
+use mfb_bench_suite::synth::SyntheticSpec;
+use mfb_core::prelude::*;
+use mfb_model::prelude::*;
+use mfb_sim::prelude::*;
+use proptest::prelude::*;
+
+fn wash() -> LogLinearWash {
+    LogLinearWash::paper_calibrated()
+}
+
+fn solved(seed: u64) -> (SequencingGraph, ComponentSet, Solution) {
+    let g = SyntheticSpec::new(14, seed).generate();
+    let comps = Allocation::new(2, 2, 2, 2).instantiate(&ComponentLibrary::default());
+    let sol = Synthesizer::paper_dcsa()
+        .synthesize(&g, &comps, &wash())
+        .expect("synthesizes");
+    (g, comps, sol)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Baseline: the untouched solution always replays cleanly.
+    #[test]
+    fn untouched_solutions_are_valid(seed in any::<u64>()) {
+        let (g, comps, sol) = solved(seed);
+        let report = replay(&g, &comps, &sol.schedule, &sol.placement, &sol.routing, &wash());
+        prop_assert!(report.is_valid(), "{:?}", report.violations);
+    }
+
+    /// Teleporting any path cell to a far corner breaks contiguity or
+    /// endpoint rules.
+    #[test]
+    fn teleported_cells_are_detected(
+        seed in any::<u64>(),
+        victim in any::<proptest::sample::Index>(),
+    ) {
+        let (g, comps, mut sol) = solved(seed);
+        prop_assume!(!sol.routing.paths.is_empty());
+        let pi = victim.index(sol.routing.paths.len());
+        prop_assume!(!sol.routing.paths[pi].cells.is_empty());
+        let grid = sol.placement.grid();
+        let far = CellPos::new(grid.width - 1, grid.height - 1);
+        let ci = victim.index(sol.routing.paths[pi].cells.len());
+        prop_assume!(sol.routing.paths[pi].cells[ci].manhattan(far) > 2);
+        sol.routing.paths[pi].cells[ci] = far;
+        let report = replay(&g, &comps, &sol.schedule, &sol.placement, &sol.routing, &wash());
+        prop_assert!(!report.is_valid(), "teleport went unnoticed");
+    }
+
+    /// Shifting a path's windows earlier than the producer's end violates
+    /// the fluid's lifetime.
+    #[test]
+    fn premature_windows_are_detected(
+        seed in any::<u64>(),
+        victim in any::<proptest::sample::Index>(),
+    ) {
+        let (g, comps, mut sol) = solved(seed);
+        let with_shiftable: Vec<usize> = sol
+            .routing
+            .paths
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| {
+                !p.windows.is_empty()
+                    && p.windows[0].start > Instant::ZERO + Duration::from_secs(1)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        prop_assume!(!with_shiftable.is_empty());
+        let pi = with_shiftable[victim.index(with_shiftable.len())];
+        // Producer end bounds the earliest legal window start; jumping to
+        // time zero always escapes it (sources end at > 0).
+        for w in &mut sol.routing.paths[pi].windows {
+            *w = Interval::new(Instant::ZERO, w.end);
+        }
+        let report = replay(&g, &comps, &sol.schedule, &sol.placement, &sol.routing, &wash());
+        prop_assert!(!report.is_valid(), "premature occupancy went unnoticed");
+    }
+
+    /// Swapping the realized times of two operations on the same component
+    /// produces overlaps or precedence violations.
+    #[test]
+    fn component_overlap_is_detected(seed in any::<u64>()) {
+        let (g, comps, mut sol) = solved(seed);
+        // Find a component running two operations.
+        let mut per_comp: std::collections::BTreeMap<ComponentId, Vec<OpId>> =
+            std::collections::BTreeMap::new();
+        for o in g.op_ids() {
+            per_comp.entry(sol.schedule.binding(o)).or_default().push(o);
+        }
+        let Some((_, ops)) = per_comp.into_iter().find(|(_, v)| v.len() >= 2) else {
+            return Ok(()); // nothing to corrupt in this instance
+        };
+        // Force the second op to start inside the first's realized window.
+        let (a, b) = (ops[0], ops[1]);
+        let a_start = sol.routing.realized.start[a.index()];
+        let b_len = sol.routing.realized.end[b.index()]
+            - sol.routing.realized.start[b.index()];
+        sol.routing.realized.start[b.index()] = a_start;
+        sol.routing.realized.end[b.index()] = a_start + b_len;
+        let report = replay(&g, &comps, &sol.schedule, &sol.placement, &sol.routing, &wash());
+        prop_assert!(!report.is_valid(), "overlap went unnoticed");
+    }
+}

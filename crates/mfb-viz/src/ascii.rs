@@ -1,0 +1,67 @@
+//! ASCII layout maps: a quick terminal view of a placed-and-routed chip.
+
+use mfb_model::prelude::*;
+use mfb_place::prelude::Placement;
+use mfb_route::prelude::Routing;
+use std::fmt::Write as _;
+
+/// Renders the chip as a character grid: component interiors as the first
+/// letter of their kind (uppercase), channel cells as `*`, free cells as
+/// `.`. Row 0 (chip south) is printed last, matching the SVG orientation.
+pub fn render_ascii(
+    placement: &Placement,
+    components: &ComponentSet,
+    routing: Option<&Routing>,
+) -> String {
+    let grid = placement.grid();
+    let mut map = vec![b'.'; grid.cell_count() as usize];
+
+    if let Some(r) = routing {
+        for p in &r.paths {
+            for &cell in &p.cells {
+                map[grid.index(cell)] = b'*';
+            }
+        }
+    }
+    for comp in components.iter() {
+        let letter = comp.kind().name().as_bytes()[0].to_ascii_uppercase();
+        for cell in placement.rect(comp.id()).cells() {
+            map[grid.index(cell)] = letter;
+        }
+    }
+
+    let mut s = String::new();
+    for y in (0..grid.height).rev() {
+        for x in 0..grid.width {
+            let _ = write!(s, "{}", map[grid.index(CellPos::new(x, y))] as char);
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_shows_components_and_free_space() {
+        let comps = Allocation::new(1, 0, 0, 1).instantiate(&ComponentLibrary::default());
+        let placement = Placement::new(
+            GridSpec::square(10),
+            vec![
+                CellRect::new(CellPos::new(0, 0), 4, 3),
+                CellRect::new(CellPos::new(7, 7), 2, 2),
+            ],
+        );
+        let map = render_ascii(&placement, &comps, None);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 10);
+        assert!(lines.iter().all(|l| l.len() == 10));
+        // Mixer occupies the bottom-left corner: last line starts with MMMM.
+        assert!(lines[9].starts_with("MMMM"));
+        // Detector near the top right.
+        assert!(lines[1].contains("DD"));
+        assert!(map.contains('.'));
+    }
+}

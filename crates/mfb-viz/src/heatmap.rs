@@ -1,0 +1,84 @@
+//! Channel-occupancy heatmaps: where the chip's traffic concentrates.
+
+use mfb_model::prelude::*;
+use mfb_place::prelude::Placement;
+use mfb_route::prelude::Routing;
+use std::fmt::Write as _;
+
+/// Renders a text heatmap of per-cell channel occupancy: components as
+/// `#`, unused cells as `.`, used cells as `1`–`9` scaled to the busiest
+/// cell's total occupancy time (`*` for the maximum). Row 0 prints last
+/// (chip south at the bottom), matching the other renderers.
+pub fn render_heatmap(placement: &Placement, routing: &Routing) -> String {
+    let grid = placement.grid();
+    let mut occupancy = vec![Duration::ZERO; grid.cell_count() as usize];
+    for p in &routing.paths {
+        for (cell, window) in p.occupancies() {
+            occupancy[grid.index(cell)] += window.length();
+        }
+    }
+    let max = occupancy.iter().copied().max().unwrap_or(Duration::ZERO);
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "channel occupancy (max {:.1}s per cell):",
+        max.as_secs_f64()
+    );
+    for y in (0..grid.height).rev() {
+        for x in 0..grid.width {
+            let cell = CellPos::new(x, y);
+            let ch = if placement.rects().iter().any(|r| r.contains(cell)) {
+                '#'
+            } else {
+                let t = occupancy[grid.index(cell)];
+                if t.is_zero() {
+                    '.'
+                } else if t == max {
+                    '*'
+                } else {
+                    let bucket = (t.as_ticks() * 9) / max.as_ticks().max(1);
+                    char::from_digit(bucket.clamp(1, 9) as u32, 10).expect("1..=9")
+                }
+            };
+            s.push(ch);
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfb_route::prelude::{RealizedTimes, RoutedPath};
+
+    #[test]
+    fn heatmap_scales_and_marks() {
+        let placement = Placement::new(
+            GridSpec::square(6),
+            vec![CellRect::new(CellPos::new(0, 0), 2, 2)],
+        );
+        let iv = |a: u64, b: u64| Interval::new(Instant::from_secs(a), Instant::from_secs(b));
+        let routing = Routing {
+            paths: vec![RoutedPath {
+                task: TaskId::new(0),
+                fluid: OpId::new(0),
+                cells: vec![CellPos::new(3, 3), CellPos::new(4, 3)],
+                windows: vec![iv(0, 10), iv(0, 2)],
+            }],
+            channel_washes: vec![],
+            realized: RealizedTimes {
+                start: vec![],
+                end: vec![],
+            },
+            grid: GridSpec::square(6),
+            used_cells: 2,
+        };
+        let map = render_heatmap(&placement, &routing);
+        assert!(map.contains('#'), "component visible");
+        assert!(map.contains('*'), "hottest cell marked");
+        assert!(map.contains('1'), "cool cell bucketed low: \n{map}");
+        assert!(map.lines().count() == 7); // header + 6 rows
+    }
+}

@@ -1,0 +1,31 @@
+//! Visualization for DCSA physical synthesis solutions.
+//!
+//! Three renderers:
+//!
+//! * [`svg::render_svg`] — a standalone SVG of the chip: component
+//!   rectangles coloured by kind, the union of channel cells, and each
+//!   routed path as a polyline (the workspace's answer to the paper's
+//!   Fig. 4 layouts);
+//! * [`ascii::render_ascii`] — the same layout as a terminal character
+//!   grid;
+//! * [`gantt::render_gantt`] — the schedule as an ASCII Gantt chart with
+//!   operations, washes and channel-cache dwells (the paper's Fig. 3).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod ascii;
+pub mod gantt;
+pub mod heatmap;
+pub mod svg;
+pub mod svg_gantt;
+
+/// One-stop import of the rendering API.
+pub mod prelude {
+    pub use crate::ascii::render_ascii;
+    pub use crate::gantt::render_gantt;
+    pub use crate::heatmap::render_heatmap;
+    pub use crate::svg::render_svg;
+    pub use crate::svg_gantt::render_svg_gantt;
+}

@@ -1,0 +1,162 @@
+//! SVG rendering of chip layouts: component rectangles, routed channels and
+//! per-task paths.
+
+use mfb_model::prelude::*;
+use mfb_place::prelude::Placement;
+use mfb_route::prelude::Routing;
+use std::fmt::Write as _;
+
+/// Pixels per grid cell in the produced SVG.
+const CELL_PX: u32 = 14;
+
+/// Fill colours per component kind (mixer, heater, filter, detector).
+const KIND_FILL: [&str; 4] = ["#7eb0d5", "#fd7f6f", "#b2e061", "#ffee65"];
+
+/// Path stroke palette, cycled per task.
+const PATH_STROKE: [&str; 6] = [
+    "#115f9a", "#bc5090", "#2e7d32", "#ef5350", "#6a3d9a", "#00695c",
+];
+
+/// Renders a placement (and optionally its routing) as a standalone SVG
+/// document.
+///
+/// Components are filled by kind and labelled with their id; routed paths
+/// are drawn as polylines through cell centres, with the union of used
+/// channel cells shaded underneath.
+pub fn render_svg(
+    placement: &Placement,
+    components: &ComponentSet,
+    routing: Option<&Routing>,
+) -> String {
+    let grid = placement.grid();
+    let w = grid.width * CELL_PX;
+    let h = grid.height * CELL_PX;
+    // SVG y grows downward; chip y grows upward. Flip rows.
+    let px = |c: CellPos| -> (u32, u32) { (c.x * CELL_PX, (grid.height - 1 - c.y) * CELL_PX) };
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#
+    );
+    let _ = writeln!(
+        s,
+        r##"<rect width="{w}" height="{h}" fill="#fafafa" stroke="#999"/>"##
+    );
+
+    // Faint grid lines.
+    for x in 1..grid.width {
+        let _ = writeln!(
+            s,
+            r##"<line x1="{0}" y1="0" x2="{0}" y2="{h}" stroke="#eee" stroke-width="1"/>"##,
+            x * CELL_PX
+        );
+    }
+    for y in 1..grid.height {
+        let _ = writeln!(
+            s,
+            r##"<line x1="0" y1="{0}" x2="{w}" y2="{0}" stroke="#eee" stroke-width="1"/>"##,
+            y * CELL_PX
+        );
+    }
+
+    // Channel cells under everything else.
+    if let Some(r) = routing {
+        let mut used = std::collections::BTreeSet::new();
+        for p in &r.paths {
+            used.extend(p.cells.iter().copied());
+        }
+        for cell in used {
+            let (x, y) = px(cell);
+            let _ = writeln!(
+                s,
+                r##"<rect x="{x}" y="{y}" width="{CELL_PX}" height="{CELL_PX}" fill="#d9d9d9"/>"##
+            );
+        }
+    }
+
+    // Components.
+    for comp in components.iter() {
+        let rect = placement.rect(comp.id());
+        let (x, _) = px(rect.origin);
+        let top = grid.height - rect.origin.y - rect.height;
+        let y = top * CELL_PX;
+        let rw = rect.width * CELL_PX;
+        let rh = rect.height * CELL_PX;
+        let fill = KIND_FILL[comp.kind() as usize];
+        let _ = writeln!(
+            s,
+            r##"<rect x="{x}" y="{y}" width="{rw}" height="{rh}" fill="{fill}" stroke="#333" stroke-width="1.5"/>"##
+        );
+        let _ = writeln!(
+            s,
+            r##"<text x="{}" y="{}" font-family="monospace" font-size="11" text-anchor="middle">{}</text>"##,
+            x + rw / 2,
+            y + rh / 2 + 4,
+            comp.id()
+        );
+    }
+
+    // Routed paths as polylines through cell centres.
+    if let Some(r) = routing {
+        for (i, p) in r.paths.iter().enumerate() {
+            if p.cells.len() < 2 {
+                continue;
+            }
+            let pts: Vec<String> = p
+                .cells
+                .iter()
+                .map(|&c| {
+                    let (x, y) = px(c);
+                    format!("{},{}", x + CELL_PX / 2, y + CELL_PX / 2)
+                })
+                .collect();
+            let stroke = PATH_STROKE[i % PATH_STROKE.len()];
+            let _ = writeln!(
+                s,
+                r#"<polyline points="{}" fill="none" stroke="{stroke}" stroke-width="2" stroke-opacity="0.75"/>"#,
+                pts.join(" ")
+            );
+        }
+    }
+
+    let _ = writeln!(s, "</svg>");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Placement, ComponentSet) {
+        let comps = Allocation::new(1, 1, 0, 0).instantiate(&ComponentLibrary::default());
+        let placement = Placement::new(
+            GridSpec::square(14),
+            vec![
+                CellRect::new(CellPos::new(1, 1), 4, 3),
+                CellRect::new(CellPos::new(8, 8), 3, 2),
+            ],
+        );
+        (placement, comps)
+    }
+
+    #[test]
+    fn renders_valid_svg_skeleton() {
+        let (p, c) = sample();
+        let svg = render_svg(&p, &c, None);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One rect per component plus the background.
+        assert_eq!(svg.matches("<rect").count(), 3);
+        assert!(svg.contains("c0"));
+        assert!(svg.contains("c1"));
+    }
+
+    #[test]
+    fn component_colors_differ_by_kind() {
+        let (p, c) = sample();
+        let svg = render_svg(&p, &c, None);
+        assert!(svg.contains(KIND_FILL[0])); // mixer
+        assert!(svg.contains(KIND_FILL[1])); // heater
+    }
+}

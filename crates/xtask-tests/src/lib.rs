@@ -1,0 +1,2 @@
+//! Carrier crate: exists only so the workspace-level integration tests in
+//! `/tests` are compiled and run by `cargo test --workspace`.

@@ -1,0 +1,71 @@
+//! Design-space exploration: how many mixers does the CPA assay actually
+//! need, and how sensitive is the flow to the transport-time constant
+//! `t_c`?
+//!
+//! Sweeps the mixer count of the CPA benchmark's allocation and, separately,
+//! `t_c`, printing the latency/utilization trade-off each time — the kind
+//! of study a chip architect runs before committing to a fabrication mask.
+//!
+//! Run with `cargo run --release --example design_space`.
+
+use mfb_bench_suite::table1_benchmarks;
+use mfb_core::prelude::*;
+use mfb_model::prelude::*;
+
+fn main() {
+    let wash = LogLinearWash::paper_calibrated();
+    let lib = ComponentLibrary::default();
+    let cpa = table1_benchmarks()
+        .into_iter()
+        .find(|b| b.name == "CPA")
+        .expect("CPA is in the suite");
+
+    println!("== Mixer-count sweep (CPA, 2 detectors, t_c = 2 s) ==");
+    println!(
+        "{:>7} {:>9} {:>9} {:>12} {:>9}",
+        "Mixers", "Exec(s)", "Util(%)", "Channel(mm)", "Cache(s)"
+    );
+    for mixers in 2..=10u32 {
+        let alloc = Allocation::new(mixers, 0, 0, 2);
+        let comps = alloc.instantiate(&lib);
+        match Synthesizer::paper_dcsa().synthesize(&cpa.graph, &comps, &wash) {
+            Ok(sol) => {
+                let m = SolutionMetrics::of(&sol, &comps);
+                println!(
+                    "{:>7} {:>9.0} {:>9.1} {:>12.0} {:>9.1}",
+                    mixers,
+                    m.execution_time.as_secs_f64(),
+                    m.utilization * 100.0,
+                    m.channel_length_mm,
+                    m.cache_time.as_secs_f64()
+                );
+            }
+            Err(e) => println!("{mixers:>7} synthesis failed: {e}"),
+        }
+    }
+
+    println!();
+    println!("== Transport-time sweep (CPA, paper allocation) ==");
+    println!(
+        "{:>7} {:>9} {:>9} {:>9}",
+        "t_c(s)", "Exec(s)", "Util(%)", "Cache(s)"
+    );
+    let comps = cpa.allocation.instantiate(&lib);
+    for tc_tenths in [5u64, 10, 20, 40, 80] {
+        let mut cfg = mfb_core::config::SynthesisConfig::paper_dcsa();
+        cfg.t_c = Duration::from_ticks(tc_tenths);
+        match Synthesizer::new(cfg).synthesize(&cpa.graph, &comps, &wash) {
+            Ok(sol) => {
+                let m = SolutionMetrics::of(&sol, &comps);
+                println!(
+                    "{:>7.1} {:>9.0} {:>9.1} {:>9.1}",
+                    tc_tenths as f64 / 10.0,
+                    m.execution_time.as_secs_f64(),
+                    m.utilization * 100.0,
+                    m.cache_time.as_secs_f64()
+                );
+            }
+            Err(e) => println!("{:>7.1} synthesis failed: {e}", tc_tenths as f64 / 10.0),
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Layout rendering: synthesize a benchmark and emit its chip layout as an
+//! SVG file plus a terminal map and schedule Gantt chart — the workspace's
+//! version of the paper's Fig. 3/Fig. 4 illustrations.
+//!
+//! Run with `cargo run --release --example layout_svg [benchmark] [out.svg]`
+//! (defaults: `Synthetic1`, `layout.svg`).
+
+use mfb_bench_suite::benchmark_by_name;
+use mfb_core::prelude::*;
+use mfb_model::prelude::*;
+use mfb_viz::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let bench = args.next().unwrap_or_else(|| "Synthetic1".to_string());
+    let out = args.next().unwrap_or_else(|| "layout.svg".to_string());
+
+    let wash = LogLinearWash::paper_calibrated();
+    let b = benchmark_by_name(&bench).expect("benchmark exists; see `mfb list`");
+    let comps = b.components(&ComponentLibrary::default());
+    let solution = Synthesizer::paper_dcsa()
+        .synthesize(&b.graph, &comps, &wash)
+        .expect("synthesis succeeds");
+    assert!(solution.verify(&b.graph, &comps, &wash).is_valid());
+
+    println!("== {} placed and routed ==", b.name);
+    println!(
+        "{}",
+        render_ascii(&solution.placement, &comps, Some(&solution.routing))
+    );
+    println!("{}", render_gantt(&solution.schedule, &comps));
+
+    let svg = render_svg(&solution.placement, &comps, Some(&solution.routing));
+    std::fs::write(&out, svg).expect("SVG written");
+    println!("layout written to {out}");
+}

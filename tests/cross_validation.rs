@@ -1,0 +1,74 @@
+//! Property-based cross-validation: random synthetic assays through the
+//! complete flow, replayed through the independent simulator. Any
+//! scheduler/placer/router bug that produces a physically impossible
+//! solution fails here.
+
+use mfb_bench_suite::synth::SyntheticSpec;
+use mfb_core::prelude::*;
+use mfb_model::prelude::*;
+use proptest::prelude::*;
+
+fn wash() -> LogLinearWash {
+    LogLinearWash::paper_calibrated()
+}
+
+fn arb_alloc() -> impl Strategy<Value = Allocation> {
+    (1u32..4, 1u32..3, 1u32..3, 1u32..3).prop_map(|(m, h, f, d)| Allocation::new(m, h, f, d))
+}
+
+proptest! {
+    // The full pipeline per case is heavier than a unit test; keep the
+    // case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dcsa_flow_solutions_replay_cleanly(
+        n in 2usize..28,
+        seed in any::<u64>(),
+        alloc in arb_alloc(),
+    ) {
+        let g = SyntheticSpec::new(n, seed).generate();
+        let comps = alloc.instantiate(&ComponentLibrary::default());
+        let sol = Synthesizer::paper_dcsa()
+            .synthesize(&g, &comps, &wash())
+            .expect("synthetic instances are routable");
+        let report = sol.verify(&g, &comps, &wash());
+        prop_assert!(report.is_valid(), "violations: {:?}", report.violations);
+        prop_assert_eq!(sol.routing.completion(), sol.schedule.completion_time());
+    }
+
+    #[test]
+    fn baseline_flow_solutions_replay_cleanly(
+        n in 2usize..24,
+        seed in any::<u64>(),
+        alloc in arb_alloc(),
+    ) {
+        let g = SyntheticSpec::new(n, seed).generate();
+        let comps = alloc.instantiate(&ComponentLibrary::default());
+        let sol = Synthesizer::paper_baseline()
+            .synthesize(&g, &comps, &wash())
+            .expect("synthetic instances are routable");
+        let report = sol.verify(&g, &comps, &wash());
+        prop_assert!(report.is_valid(), "violations: {:?}", report.violations);
+        prop_assert!(sol.routing.completion() >= sol.schedule.completion_time());
+    }
+
+    #[test]
+    fn dcsa_beats_or_ties_baseline_makespan(
+        n in 2usize..24,
+        seed in any::<u64>(),
+    ) {
+        let g = SyntheticSpec::new(n, seed).generate();
+        let alloc = Allocation::new(2, 2, 2, 2);
+        let comps = alloc.instantiate(&ComponentLibrary::default());
+        let ours = Synthesizer::paper_dcsa().synthesize(&g, &comps, &wash()).unwrap();
+        let ba = Synthesizer::paper_baseline().synthesize(&g, &comps, &wash()).unwrap();
+        let mo = SolutionMetrics::of(&ours, &comps);
+        let mb = SolutionMetrics::of(&ba, &comps);
+        // Greedy heuristics carry no absolute guarantee; allow a whisker.
+        prop_assert!(
+            mo.execution_time.as_secs_f64() <= mb.execution_time.as_secs_f64() * 1.25 + 5.0,
+            "ours {} vs BA {}", mo.execution_time, mb.execution_time
+        );
+    }
+}

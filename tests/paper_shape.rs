@@ -1,0 +1,165 @@
+//! Qualitative reproduction of the paper's evaluation: the *shape* of
+//! Table I, Fig. 8 and Fig. 9 — who wins, where the ties fall, how gains
+//! scale with benchmark size. Absolute numbers differ (the original
+//! benchmark files were never published; see DESIGN.md), so these tests pin
+//! the relationships the paper's conclusions rest on.
+
+use mfb_bench_suite::table1_benchmarks;
+use mfb_core::prelude::*;
+use mfb_model::prelude::*;
+
+fn rows() -> Vec<ComparisonRow> {
+    let lib = ComponentLibrary::default();
+    let wash = LogLinearWash::paper_calibrated();
+    table1_benchmarks()
+        .into_iter()
+        .map(|b| {
+            ComparisonRow::compare(b.name, &b.graph, b.allocation, &lib, &wash)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name))
+        })
+        .collect()
+}
+
+#[test]
+fn table1_execution_time_shape() {
+    // Paper: 0.0 %–10.5 % improvement, never a regression; small
+    // benchmarks tie or nearly tie, larger ones gain.
+    let rows = rows();
+    for r in &rows {
+        assert!(
+            r.ours.execution_time <= r.baseline.execution_time,
+            "{}: ours must never lose on execution time ({} vs {})",
+            r.name,
+            r.ours.execution_time,
+            r.baseline.execution_time
+        );
+    }
+    // At least one small benchmark ties, and the large ones improve.
+    assert!(
+        rows.iter()
+            .filter(|r| r.operations <= 12)
+            .any(|r| r.execution_improvement_pct() < 1.0),
+        "some small benchmark should tie"
+    );
+    let big_improved = rows
+        .iter()
+        .filter(|r| r.operations >= 30)
+        .filter(|r| r.execution_improvement_pct() > 0.0)
+        .count();
+    assert!(big_improved >= 3, "large benchmarks should improve");
+}
+
+#[test]
+fn table1_utilization_shape() {
+    // Paper: +12.5 % average; every improving benchmark improves
+    // utilization too, with the biggest gains on the biggest assays.
+    let rows = rows();
+    for r in &rows {
+        assert!(
+            r.ours.utilization >= r.baseline.utilization - 1e-9,
+            "{}: utilization must not regress",
+            r.name
+        );
+    }
+    let avg: f64 = rows
+        .iter()
+        .map(ComparisonRow::utilization_improvement_pct)
+        .sum::<f64>()
+        / rows.len() as f64;
+    assert!(avg > 0.0, "average utilization gain must be positive");
+}
+
+#[test]
+fn table1_channel_length_shape() {
+    // Paper: 0.0 %–11.5 % shorter channels, 5.7 % on average. Allow small
+    // per-benchmark regressions (different reconstructed workloads) but
+    // demand a clearly positive average.
+    let rows = rows();
+    let avg: f64 = rows
+        .iter()
+        .map(ComparisonRow::channel_improvement_pct)
+        .sum::<f64>()
+        / rows.len() as f64;
+    assert!(
+        avg > 0.0,
+        "average channel-length gain must be positive: {avg:.1}%"
+    );
+    for r in &rows {
+        assert!(
+            r.channel_improvement_pct() > -15.0,
+            "{}: channel length should not regress badly ({:.1}%)",
+            r.name,
+            r.channel_improvement_pct()
+        );
+    }
+}
+
+#[test]
+fn fig8_cache_time_shape() {
+    // Paper Fig. 8: total channel-cache time reduced, "particularly in the
+    // benchmarks with large scale input".
+    let rows = rows();
+    for r in &rows {
+        assert!(
+            r.ours.cache_time <= r.baseline.cache_time,
+            "{}: cache time must not regress ({} vs {})",
+            r.name,
+            r.ours.cache_time,
+            r.baseline.cache_time
+        );
+    }
+    let big: Vec<_> = rows.iter().filter(|r| r.operations >= 30).collect();
+    assert!(
+        big.iter()
+            .any(|r| r.ours.cache_time.as_secs_f64() < 0.9 * r.baseline.cache_time.as_secs_f64()),
+        "large benchmarks should show a clear cache-time reduction"
+    );
+}
+
+#[test]
+fn fig9_wash_time_shape() {
+    // Paper Fig. 9: wash efficiency improves. The tiny assays wash little
+    // either way; demand the reduction on every benchmark with >= 20 ops.
+    let rows = rows();
+    for r in rows.iter().filter(|r| r.operations >= 20) {
+        assert!(
+            r.ours.channel_wash_time <= r.baseline.channel_wash_time,
+            "{}: channel wash time must not regress ({} vs {})",
+            r.name,
+            r.ours.channel_wash_time,
+            r.baseline.channel_wash_time
+        );
+    }
+}
+
+#[test]
+fn cpu_time_stays_interactive() {
+    // Paper Table I: both flows finish in hundredths of a second. Our
+    // substrate differs, so just require "clearly interactive".
+    let rows = rows();
+    for r in &rows {
+        assert!(
+            r.ours_cpu.as_secs_f64() < 5.0 && r.baseline_cpu.as_secs_f64() < 5.0,
+            "{}: synthesis should stay interactive ({:?} / {:?})",
+            r.name,
+            r.ours_cpu,
+            r.baseline_cpu
+        );
+    }
+}
+
+#[test]
+fn baseline_pays_routing_delays_somewhere() {
+    // The baseline's construction-by-correction is allowed to postpone
+    // transports; the paper's narrative depends on those delays existing.
+    // We only require that the machinery reports zero delay for ours.
+    let rows = rows();
+    for r in &rows {
+        assert_eq!(
+            r.ours.total_delay,
+            Duration::ZERO,
+            "{}: the conflict-aware flow never delays",
+            r.name
+        );
+    }
+}

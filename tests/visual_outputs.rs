@@ -1,0 +1,62 @@
+//! The visual renderers on real solutions: structural sanity of SVG,
+//! ASCII maps and Gantt charts.
+
+use mfb_bench_suite::table1_benchmarks;
+use mfb_core::prelude::*;
+use mfb_model::prelude::*;
+use mfb_viz::prelude::*;
+
+fn solved() -> (mfb_bench_suite::Benchmark, ComponentSet, Solution) {
+    let wash = LogLinearWash::paper_calibrated();
+    let b = table1_benchmarks()
+        .into_iter()
+        .find(|b| b.name == "Synthetic1")
+        .unwrap();
+    let comps = b.components(&ComponentLibrary::default());
+    let sol = Synthesizer::paper_dcsa()
+        .synthesize(&b.graph, &comps, &wash)
+        .unwrap();
+    (b, comps, sol)
+}
+
+#[test]
+fn svg_contains_all_components_and_paths() {
+    let (_b, comps, sol) = solved();
+    let svg = render_svg(&sol.placement, &comps, Some(&sol.routing));
+    assert!(svg.starts_with("<svg"));
+    assert!(svg.trim_end().ends_with("</svg>"));
+    for c in comps.ids() {
+        assert!(svg.contains(&format!(">{c}<")), "label {c} missing");
+    }
+    let polylines = svg.matches("<polyline").count();
+    let multi_cell_paths = sol.routing.paths.iter().filter(|p| p.len() >= 2).count();
+    assert_eq!(polylines, multi_cell_paths);
+}
+
+#[test]
+fn ascii_map_matches_grid_dimensions() {
+    let (_b, comps, sol) = solved();
+    let map = render_ascii(&sol.placement, &comps, Some(&sol.routing));
+    let grid = sol.placement.grid();
+    let lines: Vec<&str> = map.lines().collect();
+    assert_eq!(lines.len(), grid.height as usize);
+    assert!(lines
+        .iter()
+        .all(|l| l.chars().count() == grid.width as usize));
+    assert!(map.contains('M'), "mixers visible");
+    assert!(map.contains('*'), "channels visible");
+}
+
+#[test]
+fn gantt_covers_every_component_row() {
+    let (_b, comps, sol) = solved();
+    let chart = render_gantt(&sol.schedule, &comps);
+    for c in comps.iter() {
+        assert!(
+            chart.contains(&c.id().to_string()),
+            "row for {} missing",
+            c.id()
+        );
+    }
+    assert!(chart.lines().count() >= comps.len() + 2);
+}
