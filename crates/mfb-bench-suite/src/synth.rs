@@ -212,7 +212,7 @@ pub fn table1_synthetic(index: u32) -> SequencingGraph {
         4 => (50, [7, 4, 4, 3]),
         _ => panic!("synthetic benchmark index must be 1..=4, got {index}"),
     };
-    SyntheticSpec::new(ops, 0x5EED_0000 + u64::from(index))
+    SyntheticSpec::new(ops, 0x5EF1_0000 + u64::from(index))
         .kind_weights(weights)
         .name(format!("Synthetic{index}"))
         .generate()

@@ -11,6 +11,8 @@
 //!     --svg <file>                 write the layout as SVG
 //!     --map                        print the ASCII layout
 //!     --gantt                      print the schedule Gantt chart
+//! mfb verify <bench|file.assay>    unified design-rule checker (DRC);
+//!                                  exits with the worst severity found
 //! mfb ablation                     binding/weight ablation study
 //! ```
 
@@ -26,30 +28,36 @@ fn main() -> ExitCode {
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     let rest = &args[1.min(args.len())..];
     let result = match cmd {
-        "list" => cmd_list(),
-        "table1" => cmd_table1(),
-        "fig8" => cmd_fig(8),
-        "fig9" => cmd_fig(9),
-        "motivating" => cmd_motivating(),
+        "list" => cmd_list().map(ok),
+        "table1" => cmd_table1().map(ok),
+        "fig8" => cmd_fig(8).map(ok),
+        "fig9" => cmd_fig(9).map(ok),
+        "motivating" => cmd_motivating().map(ok),
         "run" => cmd_run(rest),
         "run-file" => cmd_run_file(rest),
-        "audit" => cmd_audit(rest),
-        "events" => cmd_events(rest),
-        "validate" => cmd_validate(rest),
-        "ablation" => cmd_ablation(),
+        "audit" => cmd_audit(rest).map(ok),
+        "events" => cmd_events(rest).map(ok),
+        "validate" => cmd_validate(rest).map(ok),
+        "verify" => cmd_verify(rest),
+        "ablation" => cmd_ablation().map(ok),
         "help" | "--help" | "-h" => {
             print!("{}", HELP);
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command `{other}`; try `mfb help`")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// Adapter for commands whose success always exits 0.
+fn ok(_: ()) -> ExitCode {
+    ExitCode::SUCCESS
 }
 
 const HELP: &str = "\
@@ -81,6 +89,15 @@ USAGE:
     mfb validate <file.json> <bench>
                                    load an archived solution and replay it
                                    through the independent validator
+    mfb verify <bench|file.assay> [options]
+                                   run the unified design-rule checker and
+                                   exit with its worst severity
+                                   (0 clean, 1 warnings, 2 errors)
+        --flow ours|ba             which flow (default: ours)
+        --format pretty|json|sarif output format (default: pretty)
+        --out <file>               write the report to a file
+        --disable <RULE-ID>        turn one rule off (repeatable)
+        --list-rules               list all design rules and exit
     mfb ablation                   binding/weight ablation study
 ";
 
@@ -178,7 +195,7 @@ fn cmd_motivating() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let mut bench: Option<String> = None;
     let mut flow = "ours".to_string();
     let mut svg_out: Option<String> = None;
@@ -206,7 +223,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     print_solution(b.name, &comps, &solution);
 
     let report = solution.verify(&b.graph, &comps, &wash());
-    if report.is_valid() {
+    let valid = report.is_valid();
+    if valid {
         println!("  replay validation  : OK");
     } else {
         println!(
@@ -244,10 +262,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
         println!("solution written to {path}");
     }
-    Ok(())
+    Ok(if valid {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
 }
 
-fn cmd_run_file(args: &[String]) -> Result<(), String> {
+fn cmd_run_file(args: &[String]) -> Result<ExitCode, String> {
     let mut file: Option<String> = None;
     let mut flow = "ours".to_string();
     let mut svg_out: Option<String> = None;
@@ -281,9 +303,10 @@ fn cmd_run_file(args: &[String]) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     print_solution(assay.graph.name(), &comps, &solution);
     let report = solution.verify(&assay.graph, &comps, &wash());
+    let valid = report.is_valid();
     println!(
         "  replay validation  : {}",
-        if report.is_valid() {
+        if valid {
             "OK".to_string()
         } else {
             format!("{} violations", report.violations.len())
@@ -303,7 +326,11 @@ fn cmd_run_file(args: &[String]) -> Result<(), String> {
         std::fs::write(&path, svg).map_err(|e| format!("writing {path}: {e}"))?;
         println!("layout written to {path}");
     }
-    Ok(())
+    Ok(if valid {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
 }
 
 fn cmd_events(args: &[String]) -> Result<(), String> {
@@ -350,6 +377,108 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
         }
         Err(format!("{file}: {} violations", report.violations.len()))
     }
+}
+
+fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
+    use mfb_verify::prelude::*;
+
+    let mut target: Option<String> = None;
+    let mut flow = "ours".to_string();
+    let mut format = "pretty".to_string();
+    let mut out: Option<String> = None;
+    let mut disabled: Vec<String> = Vec::new();
+    let mut list_rules = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--flow" => flow = it.next().ok_or("--flow needs a value")?.clone(),
+            "--format" => format = it.next().ok_or("--format needs a value")?.clone(),
+            "--out" => out = Some(it.next().ok_or("--out needs a file")?.clone()),
+            "--disable" => disabled.push(it.next().ok_or("--disable needs a rule id")?.clone()),
+            "--list-rules" => list_rules = true,
+            other if target.is_none() => target = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+
+    let mut registry = RuleRegistry::with_all_rules();
+    for id in &disabled {
+        if registry.rule(id).is_none() {
+            return Err(format!(
+                "unknown rule `{id}`; see `mfb verify --list-rules`"
+            ));
+        }
+        registry.disable(id);
+    }
+
+    if list_rules {
+        println!(
+            "{:<14} {:<8} {:<28} description",
+            "rule", "severity", "name"
+        );
+        for r in registry.rules() {
+            let state = if registry.is_enabled(r.id) {
+                ""
+            } else {
+                " (disabled)"
+            };
+            println!(
+                "{:<14} {:<8} {:<28} {}{state}",
+                r.id, r.severity, r.name, r.description
+            );
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let target =
+        target.ok_or("usage: mfb verify <bench|file.assay> [--format pretty|json|sarif]")?;
+
+    // A benchmark name, or a path to a user-defined `.assay` file.
+    let (graph, comps) = if let Some(b) = benchmark_by_name(&target) {
+        (b.graph.clone(), b.components(&ComponentLibrary::default()))
+    } else if std::path::Path::new(&target).exists() {
+        let text =
+            std::fs::read_to_string(&target).map_err(|e| format!("reading {target}: {e}"))?;
+        let assay = parse_assay(&text).map_err(|e| format!("{target}: {e}"))?;
+        let alloc = assay
+            .allocation
+            .ok_or("the assay file must contain an `alloc M H F D` line")?;
+        (assay.graph, alloc.instantiate(&ComponentLibrary::default()))
+    } else {
+        return Err(format!(
+            "`{target}` is neither a benchmark (see `mfb list`) nor an assay file"
+        ));
+    };
+
+    let synth = match flow.as_str() {
+        "ours" => Synthesizer::paper_dcsa(),
+        "ba" => Synthesizer::paper_baseline(),
+        other => return Err(format!("unknown flow `{other}` (expected ours|ba)")),
+    };
+    let router = synth.config().router;
+    let solution = synth
+        .synthesize(&graph, &comps, &wash())
+        .map_err(|e| e.to_string())?;
+    let report = solution.drc_with(&graph, &comps, &wash(), router, &registry);
+
+    let rendered = match format.as_str() {
+        "pretty" => render_pretty(&report),
+        "json" => render_json(&report),
+        "sarif" => render_sarif(&report, &registry),
+        other => {
+            return Err(format!(
+                "unknown format `{other}` (expected pretty|json|sarif)"
+            ))
+        }
+    };
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &rendered).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("report written to {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(ExitCode::from(report.exit_code() as u8))
 }
 
 fn cmd_audit(args: &[String]) -> Result<(), String> {

@@ -8,6 +8,7 @@ use mfb_place::prelude::*;
 use mfb_route::prelude::*;
 use mfb_sched::prelude::*;
 use mfb_sim::prelude::{replay, SimReport};
+use mfb_verify::prelude::{RuleRegistry, VerifyInput, VerifyReport};
 
 /// A complete flow-layer physical design for one bioassay.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -40,6 +41,47 @@ impl Solution {
             &self.routing,
             wash,
         )
+    }
+
+    /// Runs the full design-rule checker over the solution with every rule
+    /// enabled and the paper's router configuration. Use
+    /// [`drc_with`](Solution::drc_with) to toggle rules or match a custom
+    /// router setup.
+    pub fn drc(
+        &self,
+        graph: &SequencingGraph,
+        components: &ComponentSet,
+        wash: &dyn WashModel,
+    ) -> VerifyReport {
+        self.drc_with(
+            graph,
+            components,
+            wash,
+            RouterConfig::paper(),
+            &RuleRegistry::with_all_rules(),
+        )
+    }
+
+    /// Runs the design-rule checker with an explicit router configuration
+    /// (consulted when the wash plan must be rebuilt) and rule registry.
+    pub fn drc_with(
+        &self,
+        graph: &SequencingGraph,
+        components: &ComponentSet,
+        wash: &dyn WashModel,
+        router: RouterConfig,
+        registry: &RuleRegistry,
+    ) -> VerifyReport {
+        let input = VerifyInput::new(
+            graph,
+            components,
+            &self.schedule,
+            &self.placement,
+            &self.routing,
+            wash,
+            router,
+        );
+        registry.run(&input)
     }
 }
 

@@ -70,4 +70,5 @@ pub mod prelude {
     pub use crate::flow::{Solution, Synthesizer};
     pub use crate::metrics::SolutionMetrics;
     pub use crate::report::{fig8_text, fig9_text, table1_text, ComparisonRow};
+    pub use mfb_verify::prelude::{RuleRegistry, VerifyReport};
 }

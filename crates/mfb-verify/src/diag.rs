@@ -1,0 +1,227 @@
+//! Diagnostic data model: severity, source location, and the report type
+//! every rule feeds into.
+
+use mfb_model::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How bad a finding is. Ordered: `Info < Warning < Error`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum Severity {
+    /// Informational note; never affects the exit code beyond 0.
+    #[default]
+    Info,
+    /// Suspicious but not necessarily wrong (exit code 1).
+    Warning,
+    /// A design-rule violation: the artifact is not executable as-is
+    /// (exit code 2).
+    Error,
+}
+
+impl Severity {
+    /// The process exit code this severity maps to (`0`, `1`, `2`).
+    pub fn exit_code(self) -> i32 {
+        match self {
+            Severity::Info => 0,
+            Severity::Warning => 1,
+            Severity::Error => 2,
+        }
+    }
+
+    /// The SARIF `level` string (`"note"`, `"warning"`, `"error"`).
+    pub fn sarif_level(self) -> &'static str {
+        match self {
+            Severity::Info => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// A dependency edge of the sequencing graph, used as a diagnostic anchor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EdgeRef {
+    /// Producing operation.
+    pub parent: OpId,
+    /// Consuming operation.
+    pub child: OpId,
+}
+
+impl fmt::Display for EdgeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.parent, self.child)
+    }
+}
+
+/// Where in the synthesis artifact a diagnostic points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Location {
+    /// The artifact as a whole (shape mismatches, floorplan legality).
+    Chip,
+    /// An operation of the sequencing graph.
+    Op(OpId),
+    /// A transport task.
+    Task(TaskId),
+    /// An allocated on-chip component.
+    Component(ComponentId),
+    /// A routing-grid cell.
+    Cell(CellPos),
+    /// A dependency edge `parent -> child`.
+    Edge(EdgeRef),
+}
+
+impl Location {
+    /// A short machine-friendly kind tag (`"chip"`, `"op"`, `"task"`,
+    /// `"component"`, `"cell"`, `"edge"`) used by the SARIF renderer.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Location::Chip => "chip",
+            Location::Op(_) => "op",
+            Location::Task(_) => "task",
+            Location::Component(_) => "component",
+            Location::Cell(_) => "cell",
+            Location::Edge(_) => "edge",
+        }
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Chip => f.write_str("chip"),
+            Location::Op(o) => write!(f, "{o}"),
+            Location::Task(t) => write!(f, "{t}"),
+            Location::Component(c) => write!(f, "{c}"),
+            Location::Cell(p) => write!(f, "{p}"),
+            Location::Edge(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// One finding of one rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Identifier of the rule that produced this finding (`DRC-…`).
+    pub rule: String,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Human-readable explanation.
+    pub message: String,
+    /// What the finding points at.
+    pub location: Location,
+    /// The time window during which the problem manifests, when known.
+    pub window: Option<Interval>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {} (at {}",
+            self.severity, self.rule, self.message, self.location
+        )?;
+        if let Some(w) = self.window {
+            write!(f, ", during {}..{}", w.start, w.end)?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// Everything the registry found, sorted most severe first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct VerifyReport {
+    /// All findings of all enabled rules.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl VerifyReport {
+    /// The worst severity present, or `None` for an empty report.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Process exit code: `0` clean/info-only, `1` warnings, `2` errors.
+    pub fn exit_code(&self) -> i32 {
+        self.max_severity().map_or(0, Severity::exit_code)
+    }
+
+    /// Number of findings with exactly the given severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// `true` when no error-severity findings exist (warnings allowed).
+    pub fn is_clean(&self) -> bool {
+        self.count(Severity::Error) == 0
+    }
+
+    /// All findings produced by the rule with the given id.
+    pub fn by_rule<'a>(&'a self, rule: &'a str) -> impl Iterator<Item = &'a Diagnostic> + 'a {
+        self.diagnostics.iter().filter(move |d| d.rule == rule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_and_maps() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Error.exit_code(), 2);
+        assert_eq!(Severity::Info.sarif_level(), "note");
+        assert_eq!(Severity::Warning.to_string(), "warning");
+    }
+
+    #[test]
+    fn report_summarises() {
+        let mk = |sev| Diagnostic {
+            rule: "DRC-TEST-001".into(),
+            severity: sev,
+            message: "m".into(),
+            location: Location::Chip,
+            window: None,
+        };
+        let report = VerifyReport {
+            diagnostics: vec![mk(Severity::Warning), mk(Severity::Error)],
+        };
+        assert_eq!(report.max_severity(), Some(Severity::Error));
+        assert_eq!(report.exit_code(), 2);
+        assert_eq!(report.count(Severity::Warning), 1);
+        assert!(!report.is_clean());
+        assert_eq!(report.by_rule("DRC-TEST-001").count(), 2);
+        assert!(VerifyReport::default().is_clean());
+        assert_eq!(VerifyReport::default().exit_code(), 0);
+    }
+
+    #[test]
+    fn diagnostic_displays() {
+        let d = Diagnostic {
+            rule: "DRC-ROUTE-003".into(),
+            severity: Severity::Error,
+            message: "boom".into(),
+            location: Location::Cell(CellPos::new(3, 4)),
+            window: Some(Interval::new(Instant::from_secs(1), Instant::from_secs(2))),
+        };
+        let s = d.to_string();
+        assert!(s.contains("error[DRC-ROUTE-003]"), "{s}");
+        assert!(s.contains("(3,4)"), "{s}");
+        assert!(s.contains("t=1.0s..t=2.0s"), "{s}");
+    }
+}

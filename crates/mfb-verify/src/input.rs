@@ -1,0 +1,149 @@
+//! The bundle of synthesis artifacts a DRC run inspects, with memoised
+//! access to the (potentially expensive) legacy checkers.
+
+use mfb_model::prelude::*;
+use mfb_place::prelude::Placement;
+use mfb_route::prelude::{plan_washes, RouterConfig, Routing, WashPlan};
+use mfb_sched::prelude::{validate, FluidDelivery, Schedule, ScheduleViolation};
+use mfb_sim::prelude::{replay, SimReport};
+use std::cell::OnceCell;
+
+/// Borrowed view of one complete synthesis result.
+///
+/// Rules never recompute the legacy checkers: [`schedule_violations`]
+/// (`mfb-sched`'s `validate`), [`replay_report`] (`mfb-sim`'s `replay`)
+/// and [`wash_plan`] (`mfb-route`'s `plan_washes`) each run at most once
+/// per input, however many rules consult them.
+///
+/// [`schedule_violations`]: VerifyInput::schedule_violations
+/// [`replay_report`]: VerifyInput::replay_report
+/// [`wash_plan`]: VerifyInput::wash_plan
+#[derive(Debug)]
+pub struct VerifyInput<'a> {
+    /// The bioassay being synthesised.
+    pub graph: &'a SequencingGraph,
+    /// The component allocation.
+    pub components: &'a ComponentSet,
+    /// Stage 1 result: operation schedule with transport tasks.
+    pub schedule: &'a Schedule,
+    /// Stage 2 result: the floorplan.
+    pub placement: &'a Placement,
+    /// Stage 3 result: routed paths with realized times.
+    pub routing: &'a Routing,
+    /// Wash model the solution was synthesised under.
+    pub wash: &'a dyn WashModel,
+    /// Router configuration used when the wash plan must be rebuilt.
+    pub router_config: RouterConfig,
+    sched_cache: OnceCell<Vec<ScheduleViolation>>,
+    replay_cache: OnceCell<SimReport>,
+    wash_plan_cache: OnceCell<WashPlan>,
+}
+
+impl<'a> VerifyInput<'a> {
+    /// Bundles the artifacts of one synthesis run for checking.
+    pub fn new(
+        graph: &'a SequencingGraph,
+        components: &'a ComponentSet,
+        schedule: &'a Schedule,
+        placement: &'a Placement,
+        routing: &'a Routing,
+        wash: &'a dyn WashModel,
+        router_config: RouterConfig,
+    ) -> Self {
+        VerifyInput {
+            graph,
+            components,
+            schedule,
+            placement,
+            routing,
+            wash,
+            router_config,
+            sched_cache: OnceCell::new(),
+            replay_cache: OnceCell::new(),
+            wash_plan_cache: OnceCell::new(),
+        }
+    }
+
+    /// `true` when every cross-reference in the artifacts resolves: bound
+    /// components exist, transport endpoints are allocated, delivery
+    /// records point at real tasks, and all routed cells lie on the grid.
+    ///
+    /// The legacy checkers index by these ids without guarding every one,
+    /// so on a `false` result the adapter rules stand down (instead of
+    /// panicking) and `DRC-BIND-001` reports the dangling references.
+    pub fn ids_in_range(&self) -> bool {
+        let n_ops = self.graph.len();
+        let n_comps = self.components.len();
+        let n_tasks = self.schedule.transports().len();
+        let grid = self.placement.grid();
+        let in_grid = |c: CellPos| c.x < grid.width && c.y < grid.height;
+        self.schedule.ops().len() == n_ops
+            && self
+                .schedule
+                .ops()
+                .all(|s| s.op.index() < n_ops && s.component.index() < n_comps)
+            && self.schedule.transports().all(|t| {
+                t.fluid.index() < n_ops
+                    && t.consumer.index() < n_ops
+                    && t.src.index() < n_comps
+                    && t.dst.index() < n_comps
+            })
+            && self
+                .schedule
+                .washes()
+                .all(|w| w.component.index() < n_comps)
+            && self.schedule.deliveries().all(|&(p, c, ref d)| {
+                p.index() < n_ops
+                    && c.index() < n_ops
+                    && if let FluidDelivery::Transported(t) = *d {
+                        t.index() < n_tasks
+                    } else {
+                        true
+                    }
+            })
+            && self
+                .routing
+                .paths
+                .iter()
+                .all(|p| p.cells.iter().all(|&c| in_grid(c)))
+            && self
+                .routing
+                .channel_washes
+                .iter()
+                .all(|w| w.residue.index() < n_ops && in_grid(w.cell))
+    }
+
+    /// The legacy schedule checker's findings (memoised).
+    pub fn schedule_violations(&self) -> &[ScheduleViolation] {
+        self.sched_cache
+            .get_or_init(|| validate(self.schedule, self.graph, self.components))
+    }
+
+    /// The legacy replay engine's report (memoised).
+    pub fn replay_report(&self) -> &SimReport {
+        self.replay_cache.get_or_init(|| {
+            replay(
+                self.graph,
+                self.components,
+                self.schedule,
+                self.placement,
+                self.routing,
+                self.wash,
+            )
+        })
+    }
+
+    /// The buffer-flush wash plan for the routed solution (memoised).
+    pub fn wash_plan(&self) -> &WashPlan {
+        self.wash_plan_cache.get_or_init(|| {
+            plan_washes(
+                self.routing,
+                self.schedule,
+                self.graph,
+                self.placement,
+                self.wash,
+                &self.router_config,
+            )
+        })
+    }
+}

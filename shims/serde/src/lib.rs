@@ -1,0 +1,450 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! a minimal serialization framework under the `serde` package name. It is
+//! **not** the real serde: instead of the visitor-based zero-copy data
+//! model, everything serializes into (and deserializes from) a simple owned
+//! tree, [`Content`], which `serde_json` (also vendored) renders as JSON.
+//!
+//! Supported surface, mirroring what the `mfb` crates use:
+//!
+//! * `#[derive(Serialize, Deserialize)]` on named structs, tuple structs,
+//!   and enums with unit / newtype variants (via the vendored
+//!   `serde_derive`);
+//! * `#[serde(transparent)]` newtypes;
+//! * impls for integers, floats, `bool`, `String`, `Option`, `Vec`,
+//!   arrays, and tuples up to arity four.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// The owned serialization tree. JSON-shaped: this is also what the
+/// vendored `serde_json` exposes as its `Value` type.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Content {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Content>),
+    /// An object, preserving insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+static NULL: Content = Content::Null;
+
+impl Content {
+    /// Looks up a key in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Element access for arrays; `None` out of range or for non-arrays.
+    pub fn get_index(&self, index: usize) -> Option<&Content> {
+        match self {
+            Content::Seq(items) => items.get(index),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::U64(n) => Some(*n),
+            Content::I64(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Content::I64(n) => Some(*n),
+            Content::U64(n) if *n <= i64::MAX as u64 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::F64(x) => Some(*x),
+            Content::U64(n) => Some(*n as f64),
+            Content::I64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Content::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The entries, if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Content)>> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// `true` for `Content::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    /// Builds an object from `(key, value)` pairs.
+    pub fn object(entries: Vec<(&str, Content)>) -> Content {
+        Content::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+}
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+    fn index(&self, key: &str) -> &Content {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+    fn index(&self, index: usize) -> &Content {
+        self.get_index(index).unwrap_or(&NULL)
+    }
+}
+
+impl From<&str> for Content {
+    fn from(s: &str) -> Content {
+        Content::Str(s.to_string())
+    }
+}
+impl From<String> for Content {
+    fn from(s: String) -> Content {
+        Content::Str(s)
+    }
+}
+impl From<u64> for Content {
+    fn from(n: u64) -> Content {
+        Content::U64(n)
+    }
+}
+impl From<bool> for Content {
+    fn from(b: bool) -> Content {
+        Content::Bool(b)
+    }
+}
+impl From<f64> for Content {
+    fn from(x: f64) -> Content {
+        Content::F64(x)
+    }
+}
+impl From<Vec<Content>> for Content {
+    fn from(items: Vec<Content>) -> Content {
+        Content::Seq(items)
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error with an arbitrary message.
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization into the [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` into the serialization tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Deserialization out of the [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the serialization tree.
+    fn from_content(c: &Content) -> Result<Self, Error>;
+}
+
+pub mod de {
+    //! Deserialization traits (`serde::de` parity surface).
+
+    /// Deserialization that does not borrow from the input. Every
+    /// [`Deserialize`](crate::Deserialize) impl in this stand-in is owned,
+    /// so this is a blanket alias.
+    pub trait DeserializeOwned: crate::Deserialize {}
+
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+/// Support fn for derived code: extracts and deserializes a struct field.
+pub fn __map_field<T: Deserialize>(c: &Content, name: &str) -> Result<T, Error> {
+    match c.get(name) {
+        Some(v) => T::from_content(v),
+        None => Err(Error::custom(format!("missing field `{name}`"))),
+    }
+}
+
+/// Support fn for derived code: extracts and deserializes a tuple element.
+pub fn __seq_elem<T: Deserialize>(c: &Content, index: usize) -> Result<T, Error> {
+    match c.get_index(index) {
+        Some(v) => T::from_content(v),
+        None => Err(Error::custom(format!("missing sequence element {index}"))),
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        Ok(c.clone())
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let n = c.as_u64().ok_or_else(|| {
+                    Error::custom(concat!("expected a non-negative integer for ",
+                        stringify!($t)))
+                })?;
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let n = c.as_i64().ok_or_else(|| {
+                    Error::custom(concat!("expected an integer for ", stringify!($t)))
+                })?;
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_f64().ok_or_else(|| Error::custom("expected a number"))
+    }
+}
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_f64()
+            .map(|x| x as f32)
+            .ok_or_else(|| Error::custom("expected a number"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_bool()
+            .ok_or_else(|| Error::custom("expected a boolean"))
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected a string"))
+    }
+}
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl Serialize for &str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(Error::custom("expected an array")),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_content(c)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected an array of length {N}, got {n}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+);)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                Ok(($(__seq_elem::<$name>(c, $idx)?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_and_vec_round_trip() {
+        let v: Vec<Option<u32>> = vec![Some(3), None, Some(7)];
+        let c = v.to_content();
+        assert_eq!(Vec::<Option<u32>>::from_content(&c).unwrap(), v);
+    }
+
+    #[test]
+    fn tuple_round_trip() {
+        let t = (1u32, -5i64, "x".to_string());
+        let c = t.to_content();
+        assert_eq!(
+            <(u32, i64, String)>::from_content(&c).unwrap(),
+            (1, -5, "x".to_string())
+        );
+    }
+
+    #[test]
+    fn index_falls_back_to_null() {
+        let c = Content::object(vec![("a", Content::U64(1))]);
+        assert_eq!(c["a"].as_u64(), Some(1));
+        assert!(c["missing"].is_null());
+        assert!(c[3].is_null());
+    }
+}

@@ -1,0 +1,379 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! the vendored offline `serde` stand-in.
+//!
+//! The real `serde_derive` cannot be used in this build environment (no
+//! network registry), so this crate re-implements the subset of the derive
+//! the workspace actually needs, parsing the raw [`TokenStream`] without
+//! `syn`/`quote`:
+//!
+//! * structs with named fields;
+//! * tuple structs (including `#[serde(transparent)]` newtypes);
+//! * enums whose variants are unit or one-field tuple ("newtype") variants;
+//! * the `#[serde(transparent)]` container attribute.
+//!
+//! Generics, struct variants, and renaming attributes are intentionally
+//! unsupported and fail with a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a container declaration parsed down to.
+enum Shape {
+    /// `struct S { a: A, b: B }` — the field names, in order.
+    NamedStruct(Vec<String>),
+    /// `struct S(A, B);` — the field count.
+    TupleStruct(usize),
+    /// `struct S;`
+    UnitStruct,
+    /// `enum E { Unit, Newtype(T) }` — `(variant, has_payload)` pairs.
+    Enum(Vec<(String, bool)>),
+}
+
+struct Container {
+    name: String,
+    transparent: bool,
+    shape: Shape,
+}
+
+fn parse_container(input: TokenStream) -> Container {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut transparent = false;
+    let mut i = 0;
+
+    // Leading attributes and visibility.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    let text = g.stream().to_string().replace(' ', "");
+                    if text.starts_with("serde(") && text.contains("transparent") {
+                        transparent = true;
+                    }
+                }
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => break,
+            _ => i += 1,
+        }
+    }
+
+    let is_struct = matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "struct");
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected container name, found `{other}`"),
+    };
+    i += 1;
+    if matches!(&tokens[i..], [TokenTree::Punct(p), ..] if p.as_char() == '<') {
+        panic!("serde shim derive: generic containers are not supported (`{name}`)");
+    }
+
+    let shape = if is_struct {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde shim derive: unsupported struct body for `{name}`: {other:?}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream(), &name))
+            }
+            other => panic!("serde shim derive: unsupported enum body for `{name}`: {other:?}"),
+        }
+    };
+
+    Container {
+        name,
+        transparent,
+        shape,
+    }
+}
+
+/// Splits a struct-body stream into named fields, returning the names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes (doc comments included) and visibility.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected field name, found `{other}`"),
+        };
+        fields.push(name);
+        i += 1;
+        // Expect `:`, then consume the type up to a top-level comma. Commas
+        // inside `<...>` generic argument lists are not separators.
+        assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "serde shim derive: expected `:` after field name"
+        );
+        i += 1;
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts comma-separated fields of a tuple-struct body.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+/// Splits an enum body into `(variant, has_payload)` pairs.
+fn parse_variants(stream: TokenStream, container: &str) -> Vec<(String, bool)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let mut has_payload = false;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    match g.delimiter() {
+                        Delimiter::Parenthesis => {
+                            let n = count_top_level_fields(g.stream());
+                            assert!(
+                                n == 1,
+                                "serde shim derive: variant `{container}::{name}` has {n} \
+                                 fields; only unit and single-field tuple variants are supported"
+                            );
+                            has_payload = true;
+                            i += 1;
+                        }
+                        Delimiter::Brace => panic!(
+                            "serde shim derive: struct variant `{container}::{name}` \
+                             is not supported"
+                        ),
+                        _ => {}
+                    }
+                }
+                variants.push((name, has_payload));
+            }
+            other => panic!("serde shim derive: unexpected token in enum body: `{other}`"),
+        }
+    }
+    variants
+}
+
+/// `#[derive(Serialize)]` for the supported container shapes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    let name = &c.name;
+    let body = match &c.shape {
+        Shape::NamedStruct(fields) => {
+            if c.transparent {
+                assert!(
+                    fields.len() == 1,
+                    "serde shim derive: #[serde(transparent)] requires exactly one field"
+                );
+                format!("::serde::Serialize::to_content(&self.{})", fields[0])
+            } else {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_content(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+            }
+        }
+        Shape::TupleStruct(n) => {
+            if c.transparent || *n == 1 {
+                "::serde::Serialize::to_content(&self.0)".to_string()
+            } else {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                    .collect();
+                format!("::serde::Content::Seq(vec![{}])", elems.join(", "))
+            }
+        }
+        Shape::UnitStruct => "::serde::Content::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, has_payload)| {
+                    if *has_payload {
+                        format!(
+                            "{name}::{v}(__x) => ::serde::Content::Map(vec![\
+                             (::std::string::String::from(\"{v}\"), \
+                             ::serde::Serialize::to_content(__x))]),"
+                        )
+                    } else {
+                        format!(
+                            "{name}::{v} => \
+                             ::serde::Content::Str(::std::string::String::from(\"{v}\")),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "match self {{ {} #[allow(unreachable_patterns)] _ => \
+                 unreachable!(\"non-exhaustive enum\") }}",
+                arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde shim derive: generated Serialize impl must parse")
+}
+
+/// `#[derive(Deserialize)]` for the supported container shapes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    let name = &c.name;
+    let body = match &c.shape {
+        Shape::NamedStruct(fields) => {
+            if c.transparent {
+                format!(
+                    "Ok({name} {{ {}: ::serde::Deserialize::from_content(__c)? }})",
+                    fields[0]
+                )
+            } else {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::__map_field(__c, \"{f}\")?"))
+                    .collect();
+                format!("Ok({name} {{ {} }})", inits.join(", "))
+            }
+        }
+        Shape::TupleStruct(n) => {
+            if c.transparent || *n == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_content(__c)?))")
+            } else {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::__seq_elem(__c, {i})?"))
+                    .collect();
+                format!("Ok({name}({}))", elems.join(", "))
+            }
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, p)| !p)
+                .map(|(v, _)| format!("\"{v}\" => return Ok({name}::{v}),"))
+                .collect();
+            let map_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, p)| *p)
+                .map(|(v, _)| {
+                    format!(
+                        "\"{v}\" => return Ok({name}::{v}(\
+                         ::serde::Deserialize::from_content(__v)?)),"
+                    )
+                })
+                .collect();
+            format!(
+                "match __c {{\n\
+                 ::serde::Content::Str(__s) => {{\n\
+                 match __s.as_str() {{ {} _ => {{}} }}\n\
+                 Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{}}` of {name}\", __s)))\n\
+                 }}\n\
+                 ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __v) = &__m[0];\n\
+                 match __k.as_str() {{ {} _ => {{}} }}\n\
+                 Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{}}` of {name}\", __k)))\n\
+                 }}\n\
+                 _ => Err(::serde::Error::custom(\
+                 \"expected a string or single-entry map for enum {name}\")),\n\
+                 }}",
+                unit_arms.join(" "),
+                map_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> \
+         {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde shim derive: generated Deserialize impl must parse")
+}

@@ -53,6 +53,64 @@ proptest! {
         prop_assert!(sol.routing.completion() >= sol.schedule.completion_time());
     }
 
+    /// The DRC registry agrees with the legacy checkers: a clean pipeline
+    /// yields zero error diagnostics, and after a corruption every legacy
+    /// violation shows up in the registry's report under its mapped rule
+    /// id (the registry finds a superset).
+    #[test]
+    fn drc_registry_supersets_legacy_checkers(
+        n in 4usize..20,
+        seed in any::<u64>(),
+        victim in any::<proptest::sample::Index>(),
+    ) {
+        use mfb_verify::prelude::*;
+
+        let g = SyntheticSpec::new(n, seed).generate();
+        let comps = Allocation::new(2, 2, 2, 2).instantiate(&ComponentLibrary::default());
+        let mut sol = Synthesizer::paper_dcsa()
+            .synthesize(&g, &comps, &wash())
+            .expect("synthetic instances are routable");
+
+        let clean = sol.drc(&g, &comps, &wash());
+        prop_assert!(
+            clean.count(Severity::Error) == 0,
+            "clean pipeline produced errors: {:?}",
+            clean.diagnostics
+        );
+
+        // Teleport one path cell to a far corner and re-check.
+        prop_assume!(!sol.routing.paths.is_empty());
+        let pi = victim.index(sol.routing.paths.len());
+        prop_assume!(!sol.routing.paths[pi].cells.is_empty());
+        let grid = sol.placement.grid();
+        let far = CellPos::new(grid.width - 1, grid.height - 1);
+        let ci = victim.index(sol.routing.paths[pi].cells.len());
+        prop_assume!(sol.routing.paths[pi].cells[ci].manhattan(far) > 2);
+        sol.routing.paths[pi].cells[ci] = far;
+
+        let report = sol.drc(&g, &comps, &wash());
+        let legacy_sched = mfb_sched::prelude::validate(&sol.schedule, &g, &comps);
+        let legacy_sim = sol.verify(&g, &comps, &wash());
+        for v in &legacy_sched {
+            let rule = rule_for_schedule_violation(v);
+            prop_assert!(
+                report.by_rule(rule).any(|d| d.message == v.to_string()),
+                "legacy schedule violation `{v}` missing under {rule}"
+            );
+        }
+        for v in &legacy_sim.violations {
+            let rule = rule_for_sim_violation(v);
+            prop_assert!(
+                report.by_rule(rule).any(|d| d.message == v.to_string()),
+                "legacy replay violation `{v}` missing under {rule}"
+            );
+        }
+        prop_assert!(
+            report.diagnostics.len() >= legacy_sched.len() + legacy_sim.violations.len(),
+            "registry reported fewer findings than the legacy checkers"
+        );
+    }
+
     #[test]
     fn dcsa_beats_or_ties_baseline_makespan(
         n in 2usize..24,

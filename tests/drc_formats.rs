@@ -1,0 +1,80 @@
+//! DRC on the shipped example assay: the full pipeline comes out clean,
+//! and a corrupted artifact reports the expected rule ids through all
+//! three output formats (pretty, JSON, SARIF).
+
+use mfb_core::prelude::*;
+use mfb_model::prelude::*;
+use mfb_verify::prelude::*;
+
+fn wash() -> LogLinearWash {
+    LogLinearWash::paper_calibrated()
+}
+
+fn example_pipeline() -> (SequencingGraph, ComponentSet, Solution) {
+    let text = include_str!("../assets/example.assay");
+    let assay = mfb_model::text::parse_assay(text).expect("example assay parses");
+    let alloc = assay.allocation.expect("example assay has an alloc line");
+    let comps = alloc.instantiate(&ComponentLibrary::default());
+    let sol = Synthesizer::paper_dcsa()
+        .synthesize(&assay.graph, &comps, &wash())
+        .expect("example assay synthesizes");
+    (assay.graph, comps, sol)
+}
+
+#[test]
+fn example_assay_pipeline_is_drc_clean() {
+    let (g, comps, sol) = example_pipeline();
+    let report = sol.drc(&g, &comps, &wash());
+    assert_eq!(
+        report.count(Severity::Error),
+        0,
+        "errors on the example assay: {:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn corrupted_example_reports_rule_ids_in_all_formats() {
+    let (g, comps, mut sol) = example_pipeline();
+    // Teleport a mid-path cell: breaks contiguity (DRC-ROUTE-001) at
+    // minimum, possibly traversal/conflict rules too.
+    let pi = (0..sol.routing.paths.len())
+        .find(|&i| sol.routing.paths[i].cells.len() > 2)
+        .expect("the example assay routes at least one multi-cell path");
+    let grid = sol.placement.grid();
+    let mid = sol.routing.paths[pi].cells.len() / 2;
+    sol.routing.paths[pi].cells[mid] = CellPos::new(grid.width - 1, grid.height - 1);
+
+    let registry = RuleRegistry::with_all_rules();
+    let report = sol.drc_with(
+        &g,
+        &comps,
+        &wash(),
+        mfb_route::prelude::RouterConfig::paper(),
+        &registry,
+    );
+    assert!(report.count(Severity::Error) > 0);
+    let expected: Vec<&str> = report.diagnostics.iter().map(|d| d.rule.as_str()).collect();
+    assert!(
+        expected.iter().any(|r| r.starts_with("DRC-ROUTE-")),
+        "teleport should trip a routing rule: {expected:?}"
+    );
+
+    let pretty = render_pretty(&report);
+    let json = render_json(&report);
+    let sarif = render_sarif(&report, &registry);
+    for rule in &expected {
+        assert!(pretty.contains(rule), "pretty output missing {rule}");
+        assert!(json.contains(rule), "JSON output missing {rule}");
+        assert!(sarif.contains(rule), "SARIF output missing {rule}");
+    }
+
+    // Both JSON documents parse and carry the right headline fields.
+    let json_doc: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert!(json_doc.get("summary").is_some());
+    let sarif_doc: serde_json::Value = serde_json::from_str(&sarif).unwrap();
+    assert_eq!(
+        sarif_doc.get("version").and_then(serde_json::Value::as_str),
+        Some("2.1.0")
+    );
+}
