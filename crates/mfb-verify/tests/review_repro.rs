@@ -1,0 +1,52 @@
+//! Review repro: corruptions that trip ids_in_range() but that
+//! DRC-BIND-001 does not cover should NOT yield a clean report.
+
+use mfb_bench_suite::synth::SyntheticSpec;
+use mfb_core::prelude::*;
+use mfb_model::prelude::*;
+use mfb_route::prelude::RouterConfig;
+use mfb_sched::prelude::{Schedule, WashEvent};
+use mfb_verify::prelude::*;
+
+#[test]
+fn dangling_wash_component_is_not_silently_clean() {
+    let g = SyntheticSpec::new(14, 1).generate();
+    let comps = Allocation::new(2, 2, 2, 2).instantiate(&ComponentLibrary::default());
+    let w = LogLinearWash::paper_calibrated();
+    let mut sol = Synthesizer::paper_dcsa()
+        .synthesize(&g, &comps, &w)
+        .expect("synthesizes");
+
+    // Corrupt: a wash event naming a component that does not exist.
+    let mut washes: Vec<WashEvent> = sol.schedule.washes().copied().collect();
+    washes.push(WashEvent {
+        component: ComponentId::new(999),
+        residue: OpId::new(0),
+        start: Instant::from_secs(0),
+        end: Instant::from_secs(1),
+    });
+    sol.schedule = Schedule::new(
+        sol.schedule.t_c,
+        sol.schedule.ops().copied().collect(),
+        sol.schedule.deliveries().copied().collect(),
+        sol.schedule.transports().copied().collect(),
+        washes,
+    );
+
+    let input = VerifyInput::new(
+        &g,
+        &comps,
+        &sol.schedule,
+        &sol.placement,
+        &sol.routing,
+        &w,
+        RouterConfig::paper(),
+    );
+    let report = RuleRegistry::with_all_rules().run(&input);
+    eprintln!("diagnostics: {:?}", report.diagnostics);
+    eprintln!("exit code: {}", report.exit_code());
+    assert!(
+        !report.is_clean(),
+        "corrupted artifact (dangling wash component) reported CLEAN"
+    );
+}
