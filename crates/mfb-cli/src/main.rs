@@ -39,6 +39,7 @@ fn main() -> ExitCode {
         "events" => cmd_events(rest).map(ok),
         "validate" => cmd_validate(rest).map(ok),
         "verify" => cmd_verify(rest),
+        "faults" => cmd_faults(rest).map(ok),
         "ablation" => cmd_ablation().map(ok),
         "help" | "--help" | "-h" => {
             print!("{}", HELP);
@@ -98,6 +99,18 @@ USAGE:
         --out <file>               write the report to a file
         --disable <RULE-ID>        turn one rule off (repeatable)
         --list-rules               list all design rules and exit
+    mfb faults [options]           seeded Monte-Carlo defect injection:
+                                   sample defect maps, synthesize around
+                                   them with the resilient escalation
+                                   ladder, DRC-check every survivor
+        --sweep                    sweep defect severities over the
+                                   Table-I benchmarks (survival rate and
+                                   quality-degradation table)
+        --bench <name>             restrict to one benchmark (default:
+                                   PCR, or all of Table I with --sweep)
+        --trials <n>               defect maps per severity (default: 5)
+        --seed <s>                 base RNG seed (default: 1)
+        --flow ours|ba             which flow (default: ours)
     mfb ablation                   binding/weight ablation study
 ";
 
@@ -479,6 +492,208 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
         None => print!("{rendered}"),
     }
     Ok(ExitCode::from(report.exit_code() as u8))
+}
+
+/// Aggregated outcome of one (benchmark, severity) cell of the sweep.
+struct SweepCell {
+    survived: u32,
+    trials: u32,
+    attempts_sum: u32,
+    degradation_sum: f64,
+    midassay_survived: u32,
+    midassay_trials: u32,
+    drc_fault_findings: usize,
+}
+
+fn cmd_faults(args: &[String]) -> Result<(), String> {
+    use mfb_sim::prelude::{assess_faults, FaultEvent, FaultKind};
+    use mfb_verify::prelude::{RuleRegistry, VerifyInput};
+
+    let mut sweep = false;
+    let mut bench: Option<String> = None;
+    let mut trials: u32 = 5;
+    let mut seed: u64 = 1;
+    let mut flow = "ours".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sweep" => sweep = true,
+            "--bench" => bench = Some(it.next().ok_or("--bench needs a name")?.clone()),
+            "--trials" => {
+                trials = it
+                    .next()
+                    .ok_or("--trials needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--trials: {e}"))?;
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--flow" => flow = it.next().ok_or("--flow needs a value")?.clone(),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let trials = trials.max(1);
+
+    let benches: Vec<Benchmark> = match &bench {
+        Some(name) => vec![benchmark_by_name(name)
+            .ok_or_else(|| format!("unknown benchmark `{name}`; see `mfb list`"))?],
+        None if sweep => table1_benchmarks(),
+        None => vec![benchmark_by_name("PCR").expect("PCR is a Table-I benchmark")],
+    };
+    // (cell block probability, component death probability) per severity.
+    let severities: &[(f64, f64)] = if sweep {
+        &[(0.0, 0.0), (0.01, 0.05), (0.03, 0.10), (0.05, 0.20)]
+    } else {
+        &[(0.02, 0.10)]
+    };
+    let synth = match flow.as_str() {
+        "ours" => Synthesizer::paper_dcsa(),
+        "ba" => Synthesizer::paper_baseline(),
+        other => return Err(format!("unknown flow `{other}` (expected ours|ba)")),
+    };
+    let policy = RecoveryPolicy::standard();
+    let registry = RuleRegistry::with_all_rules();
+
+    println!(
+        "fault-injection sweep: seed {seed}, {trials} trial(s)/severity, flow {flow}, \
+         ladder reseed={} grow={} relax-tc={} rebind={}",
+        policy.reseed_attempts, policy.grow_steps, policy.relax_tc_steps, policy.rebind_attempts
+    );
+    println!(
+        "{:<10} {:>7} {:>7} {:>9} {:>9} {:>10} {:>13} {:>10}",
+        "benchmark",
+        "cell_p",
+        "comp_p",
+        "survival",
+        "mean_att",
+        "mean_degr",
+        "midassay_surv",
+        "drc_faults"
+    );
+
+    for (bi, b) in benches.iter().enumerate() {
+        let comps = b.components(&ComponentLibrary::default());
+        let pristine = synth
+            .synthesize(&b.graph, &comps, &wash())
+            .map_err(|e| format!("{}: pristine synthesis failed: {e}", b.name))?;
+        let grid = pristine.placement.grid();
+        let pristine_completion = pristine.routing.completion().as_secs_f64();
+        let midassay_at = Instant::from_secs((pristine_completion / 2.0) as u64);
+
+        for (li, &(cell_p, comp_p)) in severities.iter().enumerate() {
+            let mut cell = SweepCell {
+                survived: 0,
+                trials,
+                attempts_sum: 0,
+                degradation_sum: 0.0,
+                midassay_survived: 0,
+                midassay_trials: 0,
+                drc_fault_findings: 0,
+            };
+            for trial in 0..trials {
+                // Deterministic per (seed, benchmark, severity, trial).
+                let trial_seed = seed
+                    .wrapping_mul(0x0000_0100_0000_01B3)
+                    .wrapping_add((bi as u64) << 40)
+                    .wrapping_add((li as u64) << 20)
+                    .wrapping_add(u64::from(trial));
+                let defects = DefectMap::sample(grid, &comps, cell_p, comp_p, trial_seed);
+
+                // Resynthesize around the defects with the full ladder.
+                let outcome =
+                    synth.synthesize_resilient(&b.graph, &comps, &wash(), &defects, &policy);
+                if let Some(sol) = outcome.solution() {
+                    cell.survived += 1;
+                    cell.attempts_sum += sol.attempts;
+                    let completion = sol.routing.completion().as_secs_f64();
+                    cell.degradation_sum +=
+                        (completion - pristine_completion) / pristine_completion * 100.0;
+                    // DRC-FAULT-001: no artifact of the survivor may touch
+                    // a defect.
+                    let w = wash();
+                    let input = VerifyInput::new(
+                        &b.graph,
+                        &comps,
+                        &sol.schedule,
+                        &sol.placement,
+                        &sol.routing,
+                        &w,
+                        synth.config().router,
+                    )
+                    .with_defects(&defects);
+                    let report = registry.run(&input);
+                    cell.drc_fault_findings += report
+                        .diagnostics
+                        .iter()
+                        .filter(|d| d.rule == "DRC-FAULT-001")
+                        .count();
+                }
+
+                // Mid-assay: would the *pristine* solution, already
+                // executing, survive this trial's first fault striking at
+                // half-makespan without resynthesis?
+                let midassay_fault = defects
+                    .blocked_cells()
+                    .first()
+                    .map(|&c| FaultKind::CellBlocked(c))
+                    .or_else(|| {
+                        defects
+                            .dead_components()
+                            .first()
+                            .map(|&c| FaultKind::ComponentDead(c))
+                    });
+                if let Some(kind) = midassay_fault {
+                    cell.midassay_trials += 1;
+                    let impacts = assess_faults(
+                        &pristine.schedule,
+                        &pristine.placement,
+                        &pristine.routing,
+                        &[FaultEvent {
+                            at: midassay_at,
+                            kind,
+                        }],
+                    );
+                    if impacts.iter().all(|i| i.survives()) {
+                        cell.midassay_survived += 1;
+                    }
+                }
+            }
+
+            let mean_att = if cell.survived > 0 {
+                f64::from(cell.attempts_sum) / f64::from(cell.survived)
+            } else {
+                0.0
+            };
+            let mean_degr = if cell.survived > 0 {
+                cell.degradation_sum / f64::from(cell.survived)
+            } else {
+                0.0
+            };
+            let midassay = if cell.midassay_trials > 0 {
+                format!("{}/{}", cell.midassay_survived, cell.midassay_trials)
+            } else {
+                "-".to_string()
+            };
+            println!(
+                "{:<10} {:>7.2} {:>7.2} {:>6}/{:<2} {:>9.1} {:>+9.1}% {:>13} {:>10}",
+                b.name,
+                cell_p,
+                comp_p,
+                cell.survived,
+                cell.trials,
+                mean_att,
+                mean_degr,
+                midassay,
+                cell.drc_fault_findings
+            );
+        }
+    }
+    Ok(())
 }
 
 fn cmd_audit(args: &[String]) -> Result<(), String> {

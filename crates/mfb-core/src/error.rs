@@ -21,6 +21,38 @@ pub enum SynthesisError {
         /// How many placements were tried.
         attempts: u32,
     },
+    /// A pipeline stage panicked. Produced only by the resilient driver,
+    /// which contains stage panics at rung boundaries instead of unwinding
+    /// through the caller.
+    StagePanic {
+        /// Which stage panicked (`"schedule"`, `"place"`, `"route"`, …).
+        stage: &'static str,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl SynthesisError {
+    /// True when the error is a deterministic property of the *inputs*
+    /// (assay, allocation, defect map, `t_c`) rather than of one particular
+    /// placement or annealing seed — retrying the same rung reproduces it
+    /// bit-for-bit, so the only useful reactions are escalating to a
+    /// different rung or giving up.
+    pub fn is_deterministic(&self) -> bool {
+        match self {
+            // Scheduling never looks at the layout; its failures are
+            // infeasibility proofs for the given allocation.
+            SynthesisError::Sched(_) => true,
+            // Placement failures depend on the grid, not the seed: both
+            // `GridTooSmall` and `DefectBlocked` certify that no layout
+            // exists, by area or by exhaustive scan.
+            SynthesisError::Place(_) => true,
+            SynthesisError::Route { last, .. } => {
+                matches!(last, RouteError::InconsistentSchedule { .. })
+            }
+            SynthesisError::StagePanic { .. } => false,
+        }
+    }
 }
 
 impl fmt::Display for SynthesisError {
@@ -34,6 +66,9 @@ impl fmt::Display for SynthesisError {
                     "routing failed after {attempts} placement attempts: {last}"
                 )
             }
+            SynthesisError::StagePanic { stage, message } => {
+                write!(f, "the {stage} stage panicked: {message}")
+            }
         }
     }
 }
@@ -44,6 +79,7 @@ impl std::error::Error for SynthesisError {
             SynthesisError::Sched(e) => Some(e),
             SynthesisError::Place(e) => Some(e),
             SynthesisError::Route { last, .. } => Some(last),
+            SynthesisError::StagePanic { .. } => None,
         }
     }
 }

@@ -151,12 +151,37 @@ impl Synthesizer {
         components: &ComponentSet,
         wash: &dyn WashModel,
     ) -> Result<Solution, SynthesisError> {
+        self.synthesize_with_defects(graph, components, wash, &DefectMap::pristine())
+    }
+
+    /// [`synthesize`](Synthesizer::synthesize) on a damaged chip: dead
+    /// components are excluded from binding, blocked cells from placement
+    /// footprints and from every routed or parked path, and degraded cells
+    /// pay their extra wash weight in the router's Eq. (5) cost. With a
+    /// pristine map this is exactly the plain flow.
+    ///
+    /// The retry loop **fails fast** on errors that re-placing cannot fix
+    /// (see [`SynthesisError::is_deterministic`]) instead of burning the
+    /// whole attempt budget; for escalation beyond fresh seeds — larger
+    /// grids, relaxed `t_c`, rebinding around broken components — see
+    /// [`synthesize_resilient`](Synthesizer::synthesize_resilient).
+    ///
+    /// # Errors
+    ///
+    /// Any stage error; see [`SynthesisError`].
+    pub fn synthesize_with_defects(
+        &self,
+        graph: &SequencingGraph,
+        components: &ComponentSet,
+        wash: &dyn WashModel,
+        defects: &DefectMap,
+    ) -> Result<Solution, SynthesisError> {
         let cfg = &self.config;
         let sched_cfg = SchedulerConfig {
             t_c: cfg.t_c,
             rule: cfg.binding,
         };
-        let schedule = mfb_sched::list::schedule(graph, components, wash, &sched_cfg)?;
+        let schedule = schedule_with_defects(graph, components, wash, &sched_cfg, defects)?;
         let netlist = NetList::build(&schedule, graph, wash, cfg.beta, cfg.gamma);
 
         let base_grid = cfg.grid.unwrap_or_else(|| auto_grid(components));
@@ -183,32 +208,49 @@ impl Synthesizer {
                         seed: cfg.sa.seed.wrapping_add(u64::from(attempt)),
                         ..cfg.sa
                     };
-                    place_sa(components, &netlist, grid, &sa)?
+                    place_sa_with_defects(components, &netlist, grid, &sa, defects)?
                 }
-                PlacementStrategy::Constructive => place_constructive(components, &netlist, grid)?,
+                PlacementStrategy::Constructive => place_constructive_with_defects(
+                    components,
+                    &netlist,
+                    grid,
+                    SpacingParams::default_routing(),
+                    defects,
+                )?,
                 PlacementStrategy::ForceDirected => {
-                    place_force_directed(components, &netlist, grid)?
+                    place_force_directed_with_defects(components, &netlist, grid, defects)?
                 }
             };
 
             let routed = match cfg.routing {
-                RoutingStrategy::ConflictAware => {
-                    route_dcsa(&schedule, graph, &placement, wash, &cfg.router)
-                }
-                RoutingStrategy::ConstructionByCorrection => {
-                    route_corrected(&schedule, graph, &placement, wash, &cfg.router)
-                }
+                RoutingStrategy::ConflictAware => route_dcsa_with_defects(
+                    &schedule,
+                    graph,
+                    &placement,
+                    wash,
+                    &cfg.router,
+                    defects,
+                ),
+                RoutingStrategy::ConstructionByCorrection => route_corrected_with_defects(
+                    &schedule,
+                    graph,
+                    &placement,
+                    wash,
+                    &cfg.router,
+                    defects,
+                ),
             };
             match routed {
                 Ok(mut routing) => {
                     if cfg.optimize_channels {
-                        routing = optimize_channel_length(
+                        routing = optimize_channel_length_with_defects(
                             &routing,
                             &schedule,
                             graph,
                             &placement,
                             wash,
                             &cfg.router,
+                            defects,
                         );
                     }
                     return Ok(Solution {
@@ -219,14 +261,31 @@ impl Synthesizer {
                         attempts: attempt + 1,
                     });
                 }
+                // A placement-independent routing error (e.g. a schedule
+                // the router cannot account for) reproduces identically on
+                // every placement — return it now instead of burning the
+                // remaining attempt budget on a foregone conclusion.
+                Err(e) if route_error_is_placement_independent(&e) => {
+                    return Err(SynthesisError::Route {
+                        last: e,
+                        attempts: attempt + 1,
+                    });
+                }
                 Err(e) => last_route_err = Some(e),
             }
         }
-        Err(SynthesisError::Route {
-            last: last_route_err.expect("at least one attempt"),
-            attempts,
-        })
+        let last = match last_route_err {
+            Some(e) => e,
+            None => unreachable!("attempts >= 1 and every iteration records or returns"),
+        };
+        Err(SynthesisError::Route { last, attempts })
     }
+}
+
+/// True when re-placing with a different seed or grid cannot change the
+/// routing outcome: the error is a property of the schedule, not the layout.
+pub(crate) fn route_error_is_placement_independent(e: &RouteError) -> bool {
+    matches!(e, RouteError::InconsistentSchedule { .. })
 }
 
 #[cfg(test)]

@@ -58,6 +58,7 @@ pub mod config;
 pub mod error;
 pub mod flow;
 pub mod metrics;
+pub mod recovery;
 pub mod report;
 
 /// One-stop import of the synthesis API.
@@ -69,6 +70,9 @@ pub mod prelude {
     pub use crate::error::SynthesisError;
     pub use crate::flow::{Solution, Synthesizer};
     pub use crate::metrics::SolutionMetrics;
+    pub use crate::recovery::{
+        DegradedSolution, RecoveryPolicy, RecoveryTrace, ResilientOutcome, Rung, RungAttempt,
+    };
     pub use crate::report::{fig8_text, fig9_text, table1_text, ComparisonRow};
     pub use mfb_verify::prelude::{RuleRegistry, VerifyReport};
 }

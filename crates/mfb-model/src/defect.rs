@@ -1,0 +1,328 @@
+//! Chip defect maps: which cells and components a synthesis run must
+//! avoid.
+//!
+//! Fabricated flow-layer chips are rarely pristine: valves stick, channels
+//! clog, and whole mixers die on the bench. A [`DefectMap`] records the
+//! known damage of one physical chip — **blocked grid cells** no channel
+//! may cross, **dead components** no operation may bind to, and **degraded
+//! cells** that still work but cost extra wash effort — so every pipeline
+//! stage can route and bind around it instead of discovering the damage at
+//! run time.
+//!
+//! The map serialises to a flat JSON document (no maps/sets, only arrays)
+//! so it can ride alongside an `.assay` file:
+//!
+//! ```json
+//! {
+//!   "blocked": [{"x": 3, "y": 7}, {"x": 4, "y": 7}],
+//!   "dead": [2],
+//!   "penalties": [{"cell": {"x": 9, "y": 1}, "extra_weight": 5}]
+//! }
+//! ```
+
+use crate::component::ComponentSet;
+use crate::geom::{CellPos, GridSpec};
+use crate::ids::ComponentId;
+use std::fmt;
+
+/// One degraded-but-usable cell: routing through it costs `extra_weight`
+/// additional wash-weight units on top of whatever the router already
+/// charges (Eq. (5)'s `w(i)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CellPenalty {
+    /// The degraded cell.
+    pub cell: CellPos,
+    /// Extra wash-weight units charged for crossing it.
+    pub extra_weight: u32,
+}
+
+/// The known damage of one physical chip.
+///
+/// Internally the map keeps its collections sorted and deduplicated, so
+/// membership tests are `O(log n)` and two maps describing the same damage
+/// always compare (and serialise) identically.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DefectMap {
+    /// Cells no channel may occupy (sorted, deduplicated).
+    blocked: Vec<CellPos>,
+    /// Components no operation may bind to (sorted, deduplicated).
+    dead: Vec<ComponentId>,
+    /// Degraded cells with their extra routing weight (sorted by cell).
+    penalties: Vec<CellPenalty>,
+}
+
+impl DefectMap {
+    /// A pristine chip: nothing blocked, nothing dead, no penalties.
+    pub fn pristine() -> Self {
+        DefectMap::default()
+    }
+
+    /// `true` when the chip is pristine.
+    pub fn is_pristine(&self) -> bool {
+        self.blocked.is_empty() && self.dead.is_empty() && self.penalties.is_empty()
+    }
+
+    /// Marks `cell` permanently unusable for routing.
+    pub fn block_cell(&mut self, cell: CellPos) -> &mut Self {
+        if let Err(i) = self.blocked.binary_search(&cell) {
+            self.blocked.insert(i, cell);
+        }
+        self
+    }
+
+    /// Marks `component` dead: scheduling must not bind operations to it
+    /// and placement must not move it around.
+    pub fn kill_component(&mut self, component: ComponentId) -> &mut Self {
+        if let Err(i) = self.dead.binary_search(&component) {
+            self.dead.insert(i, component);
+        }
+        self
+    }
+
+    /// Charges `extra_weight` additional wash-weight units for routing
+    /// through `cell`. Repeated calls on the same cell accumulate.
+    pub fn penalize_cell(&mut self, cell: CellPos, extra_weight: u32) -> &mut Self {
+        match self.penalties.binary_search_by_key(&cell, |p| p.cell) {
+            Ok(i) => {
+                self.penalties[i].extra_weight =
+                    self.penalties[i].extra_weight.saturating_add(extra_weight);
+            }
+            Err(i) => self.penalties.insert(i, CellPenalty { cell, extra_weight }),
+        }
+        self
+    }
+
+    /// `true` when no channel may occupy `cell`.
+    pub fn is_blocked(&self, cell: CellPos) -> bool {
+        self.blocked.binary_search(&cell).is_ok()
+    }
+
+    /// `true` when `component` must not be bound or used.
+    pub fn is_dead(&self, component: ComponentId) -> bool {
+        self.dead.binary_search(&component).is_ok()
+    }
+
+    /// The extra routing weight of `cell` (0 for healthy cells).
+    pub fn weight_penalty(&self, cell: CellPos) -> u32 {
+        match self.penalties.binary_search_by_key(&cell, |p| p.cell) {
+            Ok(i) => self.penalties[i].extra_weight,
+            Err(_) => 0,
+        }
+    }
+
+    /// All blocked cells, sorted.
+    pub fn blocked_cells(&self) -> &[CellPos] {
+        &self.blocked
+    }
+
+    /// All dead components, sorted.
+    pub fn dead_components(&self) -> &[ComponentId] {
+        &self.dead
+    }
+
+    /// All degraded cells with their penalties, sorted by cell.
+    pub fn penalties(&self) -> &[CellPenalty] {
+        &self.penalties
+    }
+
+    /// Checks the map against the chip it claims to describe: every
+    /// blocked or degraded cell must lie on `grid` and every dead
+    /// component must exist in `components`.
+    ///
+    /// # Errors
+    ///
+    /// The first inconsistency found, as a [`DefectMapError`].
+    pub fn validate(
+        &self,
+        grid: GridSpec,
+        components: &ComponentSet,
+    ) -> Result<(), DefectMapError> {
+        if let Some(&cell) = self.blocked.iter().find(|&&c| !grid.contains(c)) {
+            return Err(DefectMapError::BlockedCellOffGrid { cell, grid });
+        }
+        if let Some(p) = self.penalties.iter().find(|p| !grid.contains(p.cell)) {
+            return Err(DefectMapError::PenalizedCellOffGrid { cell: p.cell, grid });
+        }
+        if let Some(&component) = self.dead.iter().find(|c| c.index() >= components.len()) {
+            return Err(DefectMapError::UnknownDeadComponent {
+                component,
+                known: components.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Deterministically samples a random defect map for fault-injection
+    /// sweeps: each grid cell is blocked with probability `cell_p` and each
+    /// component dies with probability `comp_p` (both clamped to `[0, 1]`),
+    /// driven by `seed` alone — the same arguments always produce the same
+    /// map.
+    pub fn sample(
+        grid: GridSpec,
+        components: &ComponentSet,
+        cell_p: f64,
+        comp_p: f64,
+        seed: u64,
+    ) -> Self {
+        let cell_p = cell_p.clamp(0.0, 1.0);
+        let comp_p = comp_p.clamp(0.0, 1.0);
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let mut unit = move || {
+            // splitmix64: tiny, seedable, and good enough for sweeps.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut map = DefectMap::pristine();
+        for y in 0..grid.height {
+            for x in 0..grid.width {
+                if unit() < cell_p {
+                    map.block_cell(CellPos::new(x, y));
+                }
+            }
+        }
+        for c in components.ids() {
+            if unit() < comp_p {
+                map.kill_component(c);
+            }
+        }
+        map
+    }
+}
+
+/// Why a [`DefectMap`] is inconsistent with the chip it describes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum DefectMapError {
+    /// A blocked cell lies outside the routing grid.
+    BlockedCellOffGrid {
+        /// The offending cell.
+        cell: CellPos,
+        /// The grid it misses.
+        grid: GridSpec,
+    },
+    /// A penalised cell lies outside the routing grid.
+    PenalizedCellOffGrid {
+        /// The offending cell.
+        cell: CellPos,
+        /// The grid it misses.
+        grid: GridSpec,
+    },
+    /// A dead component id does not exist in the allocation.
+    UnknownDeadComponent {
+        /// The offending id.
+        component: ComponentId,
+        /// How many components the allocation actually has.
+        known: usize,
+    },
+}
+
+impl fmt::Display for DefectMapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DefectMapError::BlockedCellOffGrid { cell, grid } => write!(
+                f,
+                "blocked cell ({}, {}) lies outside the {}x{} grid",
+                cell.x, cell.y, grid.width, grid.height
+            ),
+            DefectMapError::PenalizedCellOffGrid { cell, grid } => write!(
+                f,
+                "penalized cell ({}, {}) lies outside the {}x{} grid",
+                cell.x, cell.y, grid.width, grid.height
+            ),
+            DefectMapError::UnknownDeadComponent { component, known } => write!(
+                f,
+                "dead component {component} does not exist (allocation has {known} components)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DefectMapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{Allocation, ComponentLibrary};
+
+    #[test]
+    fn pristine_map_has_no_defects() {
+        let m = DefectMap::pristine();
+        assert!(m.is_pristine());
+        assert!(!m.is_blocked(CellPos::new(0, 0)));
+        assert!(!m.is_dead(ComponentId::new(0)));
+        assert_eq!(m.weight_penalty(CellPos::new(0, 0)), 0);
+    }
+
+    #[test]
+    fn membership_and_dedup() {
+        let mut m = DefectMap::pristine();
+        m.block_cell(CellPos::new(2, 3))
+            .block_cell(CellPos::new(1, 1))
+            .block_cell(CellPos::new(2, 3));
+        m.kill_component(ComponentId::new(4))
+            .kill_component(ComponentId::new(4));
+        assert_eq!(m.blocked_cells().len(), 2);
+        assert_eq!(m.dead_components(), &[ComponentId::new(4)]);
+        assert!(m.is_blocked(CellPos::new(2, 3)));
+        assert!(!m.is_blocked(CellPos::new(3, 2)));
+        assert!(m.is_dead(ComponentId::new(4)));
+    }
+
+    #[test]
+    fn penalties_accumulate() {
+        let mut m = DefectMap::pristine();
+        m.penalize_cell(CellPos::new(5, 5), 3)
+            .penalize_cell(CellPos::new(5, 5), 2);
+        assert_eq!(m.weight_penalty(CellPos::new(5, 5)), 5);
+        assert_eq!(m.weight_penalty(CellPos::new(5, 6)), 0);
+    }
+
+    #[test]
+    fn validate_rejects_off_grid_and_unknown() {
+        let grid = GridSpec::square(8);
+        let comps = Allocation::new(1, 0, 0, 1).instantiate(&ComponentLibrary::default());
+        let mut off = DefectMap::pristine();
+        off.block_cell(CellPos::new(9, 0));
+        assert!(matches!(
+            off.validate(grid, &comps),
+            Err(DefectMapError::BlockedCellOffGrid { .. })
+        ));
+        let mut unknown = DefectMap::pristine();
+        unknown.kill_component(ComponentId::new(7));
+        assert!(matches!(
+            unknown.validate(grid, &comps),
+            Err(DefectMapError::UnknownDeadComponent { .. })
+        ));
+        let mut ok = DefectMap::pristine();
+        ok.block_cell(CellPos::new(7, 7))
+            .kill_component(ComponentId::new(1));
+        assert!(ok.validate(grid, &comps).is_ok());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_seed_sensitive() {
+        let grid = GridSpec::square(12);
+        let comps = Allocation::new(2, 1, 1, 1).instantiate(&ComponentLibrary::default());
+        let a = DefectMap::sample(grid, &comps, 0.1, 0.3, 42);
+        let b = DefectMap::sample(grid, &comps, 0.1, 0.3, 42);
+        let c = DefectMap::sample(grid, &comps, 0.1, 0.3, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.validate(grid, &comps).is_ok());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut m = DefectMap::pristine();
+        m.block_cell(CellPos::new(3, 7))
+            .kill_component(ComponentId::new(2))
+            .penalize_cell(CellPos::new(9, 1), 5);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: DefectMap = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -42,6 +42,7 @@
 
 pub mod component;
 pub mod concentration;
+pub mod defect;
 pub mod fluid;
 pub mod geom;
 pub mod graph;
@@ -58,6 +59,7 @@ pub mod prelude {
         Allocation, Component, ComponentKind, ComponentLibrary, ComponentSet, Footprint,
     };
     pub use crate::concentration::ConcentrationMap;
+    pub use crate::defect::{CellPenalty, DefectMap, DefectMapError};
     pub use crate::fluid::DiffusionCoefficient;
     pub use crate::geom::{CellPos, CellRect, GridSpec};
     pub use crate::graph::{GraphError, SequencingGraph, SequencingGraphBuilder};

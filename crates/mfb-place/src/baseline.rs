@@ -10,7 +10,7 @@
 //! none of Eq. (4)'s priorities.
 
 use crate::error::PlaceError;
-use crate::floorplan::{rect_gap, Placement, CLEARANCE};
+use crate::floorplan::{rect_avoids_defects, rect_gap, Placement, CLEARANCE};
 use crate::nets::{NetList, SpacingParams};
 use mfb_model::prelude::*;
 
@@ -39,6 +39,25 @@ pub fn place_constructive_spaced(
     nets: &NetList,
     grid: GridSpec,
     spacing: SpacingParams,
+) -> Result<Placement, PlaceError> {
+    place_constructive_with_defects(components, nets, grid, spacing, &DefectMap::pristine())
+}
+
+/// [`place_constructive_spaced`] on a damaged chip: candidate positions
+/// covering a blocked cell of `defects` are skipped. With a pristine map
+/// this is exactly the plain constructive placer.
+///
+/// # Errors
+///
+/// [`PlaceError::GridTooSmall`] when some component cannot be placed
+/// legally at all; [`PlaceError::DefectBlocked`] when only the defect map
+/// stands in the way.
+pub fn place_constructive_with_defects(
+    components: &ComponentSet,
+    nets: &NetList,
+    grid: GridSpec,
+    spacing: SpacingParams,
+    defects: &DefectMap,
 ) -> Result<Placement, PlaceError> {
     let mut placement = Placement::new(
         grid,
@@ -84,6 +103,9 @@ pub fn place_constructive_spaced(
         for y in 0..=max_y {
             for x in 0..=max_x {
                 let rect = CellRect::new(CellPos::new(x, y), fp.width, fp.height);
+                if !rect_avoids_defects(rect, defects) {
+                    continue;
+                }
                 let legal = placed
                     .iter()
                     .all(|&p| !rect.inflated(CLEARANCE).intersects(placement.rect(p)));
@@ -117,7 +139,11 @@ pub fn place_constructive_spaced(
             }
         }
         let Some((_, rect)) = best else {
-            return Err(PlaceError::GridTooSmall { grid });
+            return Err(if defects.is_pristine() {
+                PlaceError::GridTooSmall { grid }
+            } else {
+                PlaceError::DefectBlocked { grid }
+            });
         };
         placement.set_rect(c.id(), rect);
         placed.push(c.id());

@@ -12,6 +12,12 @@ pub enum PlaceError {
         /// The grid that was attempted.
         grid: GridSpec,
     },
+    /// The grid could hold the components, but every arrangement collides
+    /// with blocked cells of the defect map.
+    DefectBlocked {
+        /// The grid that was attempted.
+        grid: GridSpec,
+    },
 }
 
 impl fmt::Display for PlaceError {
@@ -19,6 +25,12 @@ impl fmt::Display for PlaceError {
         match self {
             PlaceError::GridTooSmall { grid } => {
                 write!(f, "grid {grid} is too small for a legal placement")
+            }
+            PlaceError::DefectBlocked { grid } => {
+                write!(
+                    f,
+                    "no defect-free placement exists on grid {grid} with the given defect map"
+                )
             }
         }
     }

@@ -130,6 +130,26 @@ impl Placement {
             .enumerate()
             .all(|(j, &other)| j == c.index() || !rect.inflated(CLEARANCE).intersects(other))
     }
+
+    /// The first component whose rectangle covers a blocked cell of
+    /// `defects`, if any. Defect-aware placers only produce placements for
+    /// which this is `None`.
+    pub fn defect_overlap(&self, defects: &DefectMap) -> Option<ComponentId> {
+        self.rects.iter().enumerate().find_map(|(i, &r)| {
+            defects
+                .blocked_cells()
+                .iter()
+                .any(|&cell| r.contains(cell))
+                .then(|| ComponentId::new(i as u32))
+        })
+    }
+}
+
+/// `true` when `rect` covers no blocked cell of `defects`. Costs
+/// `O(|blocked|)`, which is far cheaper than scanning the rectangle for the
+/// sparse maps real chips have.
+pub fn rect_avoids_defects(rect: CellRect, defects: &DefectMap) -> bool {
+    defects.blocked_cells().iter().all(|&c| !rect.contains(c))
 }
 
 impl fmt::Display for Placement {
@@ -219,6 +239,48 @@ pub(crate) fn packed_placement(
     } else {
         Err(crate::error::PlaceError::GridTooSmall { grid })
     }
+}
+
+/// Deterministic greedy scan placement that also avoids blocked defect
+/// cells: each component goes to the first origin (bottom-to-top,
+/// left-to-right) that is in bounds, keeps [`CLEARANCE`] to everything
+/// already placed, and covers no blocked cell. The defect-aware fallback
+/// counterpart of [`packed_placement`].
+pub(crate) fn packed_placement_avoiding(
+    components: &ComponentSet,
+    grid: GridSpec,
+    defects: &DefectMap,
+) -> Result<Placement, crate::error::PlaceError> {
+    let mut rects: Vec<CellRect> = Vec::with_capacity(components.len());
+    for c in components.iter() {
+        let fp = c.footprint();
+        let (Some(max_x), Some(max_y)) = (
+            grid.width.checked_sub(fp.width),
+            grid.height.checked_sub(fp.height),
+        ) else {
+            return Err(crate::error::PlaceError::GridTooSmall { grid });
+        };
+        let mut chosen = None;
+        'scan: for y in 0..=max_y {
+            for x in 0..=max_x {
+                let rect = CellRect::new(CellPos::new(x, y), fp.width, fp.height);
+                let clear = rects
+                    .iter()
+                    .all(|&o| !rect.inflated(CLEARANCE).intersects(o));
+                if clear && rect_avoids_defects(rect, defects) {
+                    chosen = Some(rect);
+                    break 'scan;
+                }
+            }
+        }
+        let Some(rect) = chosen else {
+            return Err(crate::error::PlaceError::DefectBlocked { grid });
+        };
+        rects.push(rect);
+    }
+    let placement = Placement::new(grid, rects);
+    debug_assert!(placement.is_legal());
+    Ok(placement)
 }
 
 /// Picks a chip grid large enough to place `components` comfortably:

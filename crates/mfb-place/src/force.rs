@@ -9,7 +9,9 @@
 //! tests: if SA ever loses badly to this, the annealing schedule broke.
 
 use crate::error::PlaceError;
-use crate::floorplan::{packed_placement, Placement};
+use crate::floorplan::{
+    packed_placement, packed_placement_avoiding, rect_avoids_defects, Placement,
+};
 use crate::nets::{energy, NetList};
 use mfb_model::prelude::*;
 
@@ -28,7 +30,29 @@ pub fn place_force_directed(
     nets: &NetList,
     grid: GridSpec,
 ) -> Result<Placement, PlaceError> {
-    let mut placement = packed_placement(components, grid)?;
+    place_force_directed_with_defects(components, nets, grid, &DefectMap::pristine())
+}
+
+/// [`place_force_directed`] on a damaged chip: the initial packing and
+/// every centroid move avoid blocked cells, and dead components are pinned
+/// where the packing put them. With a pristine map this is exactly the
+/// plain force-directed placer.
+///
+/// # Errors
+///
+/// [`PlaceError::GridTooSmall`] when the initial packing does not fit;
+/// [`PlaceError::DefectBlocked`] when only the defect map prevents it.
+pub fn place_force_directed_with_defects(
+    components: &ComponentSet,
+    nets: &NetList,
+    grid: GridSpec,
+    defects: &DefectMap,
+) -> Result<Placement, PlaceError> {
+    let mut placement = if defects.is_pristine() {
+        packed_placement(components, grid)?
+    } else {
+        packed_placement_avoiding(components, grid, defects)?
+    };
 
     // Accumulated pull per component: (neighbour id, weight).
     let pulls: Vec<Vec<(ComponentId, f64)>> = {
@@ -44,7 +68,7 @@ pub fn place_force_directed(
     for _sweep in 0..MAX_SWEEPS {
         let mut moved = false;
         for c in components.ids() {
-            if pulls[c.index()].is_empty() {
+            if pulls[c.index()].is_empty() || defects.is_dead(c) {
                 continue;
             }
             // Weighted centroid of neighbours' ports.
@@ -60,7 +84,7 @@ pub fn place_force_directed(
                 (sy / sw).round().clamp(0.0, f64::from(grid.height - 1)) as u32,
             );
 
-            if let Some(rect) = nearest_legal(&placement, c, target) {
+            if let Some(rect) = nearest_legal(&placement, c, target, defects) {
                 let old = placement.rect(c);
                 if rect != old {
                     placement.set_rect(c, rect);
@@ -84,7 +108,12 @@ pub fn place_force_directed(
 
 /// The legal rectangle for `c` whose centre is nearest `target`, found by
 /// ring search outward from the target (bounded by the grid diameter).
-fn nearest_legal(placement: &Placement, c: ComponentId, target: CellPos) -> Option<CellRect> {
+fn nearest_legal(
+    placement: &Placement,
+    c: ComponentId,
+    target: CellPos,
+    defects: &DefectMap,
+) -> Option<CellRect> {
     let grid = placement.grid();
     let r = placement.rect(c);
     let (w, h) = (r.width, r.height);
@@ -109,7 +138,7 @@ fn nearest_legal(placement: &Placement, c: ComponentId, target: CellPos) -> Opti
                     continue;
                 }
                 let rect = CellRect::new(CellPos::new(xx, yy), w, h);
-                if placement.fits(c, rect) {
+                if rect_avoids_defects(rect, defects) && placement.fits(c, rect) {
                     let d = rect.center().manhattan(target);
                     match best {
                         Some((bd, _)) if bd <= d => {}

@@ -43,10 +43,14 @@ pub mod sa;
 
 /// One-stop import of the placement API.
 pub mod prelude {
-    pub use crate::baseline::{place_constructive, place_constructive_spaced};
+    pub use crate::baseline::{
+        place_constructive, place_constructive_spaced, place_constructive_with_defects,
+    };
     pub use crate::error::PlaceError;
-    pub use crate::floorplan::{auto_grid, rect_gap, Placement, PlacementViolation, CLEARANCE};
-    pub use crate::force::place_force_directed;
+    pub use crate::floorplan::{
+        auto_grid, rect_avoids_defects, rect_gap, Placement, PlacementViolation, CLEARANCE,
+    };
+    pub use crate::force::{place_force_directed, place_force_directed_with_defects};
     pub use crate::nets::{energy, energy_with_spacing, Net, NetList, SpacingParams};
-    pub use crate::sa::{place_sa, place_sa_auto, SaConfig};
+    pub use crate::sa::{place_sa, place_sa_auto, place_sa_with_defects, SaConfig};
 }

@@ -7,7 +7,10 @@
 //! `e^(-Δ/T)` otherwise; the temperature then cools by the factor `α`.
 
 use crate::error::PlaceError;
-use crate::floorplan::{auto_grid, packed_placement, Placement, CLEARANCE};
+use crate::floorplan::{
+    auto_grid, packed_placement, packed_placement_avoiding, rect_avoids_defects, Placement,
+    CLEARANCE,
+};
 use crate::nets::{energy_with_spacing, NetList, SpacingParams};
 use mfb_model::prelude::*;
 use rand::rngs::StdRng;
@@ -73,8 +76,28 @@ pub fn place_sa(
     grid: GridSpec,
     config: &SaConfig,
 ) -> Result<Placement, PlaceError> {
+    place_sa_with_defects(components, nets, grid, config, &DefectMap::pristine())
+}
+
+/// [`place_sa`] on a damaged chip: no component rectangle may cover a
+/// blocked cell of `defects`, and components marked dead are pinned — the
+/// annealer never proposes moving, rotating or swapping them. With a
+/// pristine map this is exactly `place_sa` (bit-identical placements).
+///
+/// # Errors
+///
+/// [`PlaceError::GridTooSmall`] when the grid cannot hold the components at
+/// all; [`PlaceError::DefectBlocked`] when it could, but every arrangement
+/// collides with blocked cells.
+pub fn place_sa_with_defects(
+    components: &ComponentSet,
+    nets: &NetList,
+    grid: GridSpec,
+    config: &SaConfig,
+    defects: &DefectMap,
+) -> Result<Placement, PlaceError> {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut placement = initial_placement(components, grid, &mut rng)?;
+    let mut placement = initial_placement(components, grid, &mut rng, defects)?;
     if components.len() < 2 {
         return Ok(placement); // nothing to optimise
     }
@@ -87,7 +110,7 @@ pub fn place_sa(
     while t > config.t_min {
         for _ in 0..config.i_max {
             let saved = placement.clone();
-            if !propose(&mut placement, components, &mut rng) {
+            if !propose(&mut placement, components, &mut rng, defects) {
                 continue;
             }
             let candidate = cost(&placement);
@@ -123,6 +146,7 @@ pub(crate) fn initial_placement(
     components: &ComponentSet,
     grid: GridSpec,
     rng: &mut StdRng,
+    defects: &DefectMap,
 ) -> Result<Placement, PlaceError> {
     let mut placement = Placement::new(
         grid,
@@ -149,6 +173,7 @@ pub(crate) fn initial_placement(
             let rect = CellRect::new(origin, fp.width, fp.height);
             // Only check against components placed so far.
             let ok = grid.contains_rect(rect)
+                && rect_avoids_defects(rect, defects)
                 && components
                     .iter()
                     .take(c.id().index())
@@ -158,16 +183,29 @@ pub(crate) fn initial_placement(
                 continue 'components;
             }
         }
-        // Rejection failed: deterministic row packing for everything.
-        return packed_placement(components, grid);
+        // Rejection failed: deterministic packing for everything (the
+        // row packer on pristine chips, the defect-avoiding scan otherwise).
+        return if defects.is_pristine() {
+            packed_placement(components, grid)
+        } else {
+            packed_placement_avoiding(components, grid, defects)
+        };
     }
     debug_assert!(placement.is_legal());
     Ok(placement)
 }
 
 /// Applies one random transformation operation; returns `false` when the
-/// proposal was illegal (placement left untouched).
-fn propose(placement: &mut Placement, components: &ComponentSet, rng: &mut StdRng) -> bool {
+/// proposal was illegal (placement left untouched). Dead components are
+/// pinned and rectangles covering blocked cells are rejected; the RNG draw
+/// sequence is independent of the defect map, so a pristine map reproduces
+/// the historical placements exactly.
+fn propose(
+    placement: &mut Placement,
+    components: &ComponentSet,
+    rng: &mut StdRng,
+    defects: &DefectMap,
+) -> bool {
     let grid = placement.grid();
     let n = components.len() as u32;
     match rng.gen_range(0..3u8) {
@@ -186,7 +224,8 @@ fn propose(placement: &mut Placement, components: &ComponentSet, rng: &mut StdRn
                 r.width,
                 r.height,
             );
-            if placement.fits(c, rect) {
+            if !defects.is_dead(c) && rect_avoids_defects(rect, defects) && placement.fits(c, rect)
+            {
                 placement.set_rect(c, rect);
                 true
             } else {
@@ -198,7 +237,8 @@ fn propose(placement: &mut Placement, components: &ComponentSet, rng: &mut StdRn
             let c = ComponentId::new(rng.gen_range(0..n));
             let r = placement.rect(c);
             let rect = CellRect::new(r.origin, r.height, r.width);
-            if placement.fits(c, rect) {
+            if !defects.is_dead(c) && rect_avoids_defects(rect, defects) && placement.fits(c, rect)
+            {
                 placement.set_rect(c, rect);
                 true
             } else {
@@ -212,13 +252,16 @@ fn propose(placement: &mut Placement, components: &ComponentSet, rng: &mut StdRn
             }
             let a = ComponentId::new(rng.gen_range(0..n));
             let b = ComponentId::new(rng.gen_range(0..n));
-            if a == b {
+            if a == b || defects.is_dead(a) || defects.is_dead(b) {
                 return false;
             }
             let ra = placement.rect(a);
             let rb = placement.rect(b);
             let na = CellRect::new(rb.origin, ra.width, ra.height);
             let nb = CellRect::new(ra.origin, rb.width, rb.height);
+            if !rect_avoids_defects(na, defects) || !rect_avoids_defects(nb, defects) {
+                return false;
+            }
             let saved = placement.clone();
             placement.set_rect(a, na);
             placement.set_rect(b, nb);
@@ -289,7 +332,7 @@ mod tests {
         let nets = NetList::build(&s, &g, &LogLinearWash::paper_calibrated(), 0.6, 0.4);
         let grid = auto_grid(&comps);
         let mut rng = StdRng::seed_from_u64(SaConfig::paper().seed);
-        let start = initial_placement(&comps, grid, &mut rng).unwrap();
+        let start = initial_placement(&comps, grid, &mut rng, &DefectMap::pristine()).unwrap();
         let cfg = SaConfig::paper();
         let optimised = place_sa(&comps, &nets, grid, &cfg).unwrap();
         assert!(
@@ -329,6 +372,49 @@ mod tests {
         let p = place_sa_auto(&comps, &nets, &SaConfig::paper()).unwrap();
         assert!(p.is_legal());
         assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn defect_aware_placement_avoids_blocked_cells_and_pins_dead() {
+        let (g, comps, s) = chain_workload();
+        let nets = NetList::build(&s, &g, &LogLinearWash::paper_calibrated(), 0.6, 0.4);
+        let grid = auto_grid(&comps);
+        let mut defects = DefectMap::pristine();
+        // Block a diagonal band through the middle of the grid.
+        for i in 0..grid.width.min(grid.height) {
+            defects.block_cell(CellPos::new(i, i));
+        }
+        defects.kill_component(ComponentId::new(2));
+        let p = place_sa_with_defects(&comps, &nets, grid, &SaConfig::paper(), &defects).unwrap();
+        assert!(p.is_legal());
+        assert_eq!(p.defect_overlap(&defects), None);
+    }
+
+    #[test]
+    fn pristine_defects_reproduce_plain_sa() {
+        let (g, comps, s) = chain_workload();
+        let nets = NetList::build(&s, &g, &LogLinearWash::paper_calibrated(), 0.6, 0.4);
+        let grid = auto_grid(&comps);
+        let cfg = SaConfig::paper().with_seed(11);
+        let plain = place_sa(&comps, &nets, grid, &cfg).unwrap();
+        let with =
+            place_sa_with_defects(&comps, &nets, grid, &cfg, &DefectMap::pristine()).unwrap();
+        assert_eq!(plain, with);
+    }
+
+    #[test]
+    fn fully_blocked_grid_is_a_defect_error() {
+        let comps = Allocation::new(1, 0, 0, 0).instantiate(&ComponentLibrary::default());
+        let nets = empty_netlist();
+        let grid = GridSpec::square(12);
+        let mut defects = DefectMap::pristine();
+        for y in 0..grid.height {
+            for x in 0..grid.width {
+                defects.block_cell(CellPos::new(x, y));
+            }
+        }
+        let err = place_sa_with_defects(&comps, &nets, grid, &SaConfig::paper(), &defects);
+        assert!(matches!(err, Err(PlaceError::DefectBlocked { .. })));
     }
 
     #[test]

@@ -47,15 +47,40 @@ pub fn route_corrected(
     wash: &dyn WashModel,
     config: &RouterConfig,
 ) -> Result<Routing, RouteError> {
+    route_corrected_with_defects(
+        schedule,
+        graph,
+        placement,
+        wash,
+        config,
+        &DefectMap::pristine(),
+    )
+}
+
+/// [`route_corrected`] on a damaged chip: both the conflict-blind phase-1
+/// paths and every phase-2 correction avoid the defect map's blocked cells.
+/// With a pristine map this is exactly the plain baseline.
+///
+/// # Errors
+///
+/// Same as [`route_corrected`].
+pub fn route_corrected_with_defects(
+    schedule: &Schedule,
+    graph: &SequencingGraph,
+    placement: &Placement,
+    wash: &dyn WashModel,
+    config: &RouterConfig,
+    defects: &DefectMap,
+) -> Result<Routing, RouteError> {
     let wash_of = |op: OpId| wash.wash_time(graph.op(op).output_diffusion());
     let options = AstarOptions { use_weights: false };
-    let mut grid = RoutingGrid::new(placement, config.w_e);
+    let mut grid = RoutingGrid::new_with_defects(placement, config.w_e, defects);
 
     // ---- Phase 1: construct initial shortest paths, conflict-blind. ----
     let task_count = schedule.transports().len();
     let mut initial: Vec<Vec<CellPos>> = vec![Vec::new(); task_count];
     {
-        let pristine = RoutingGrid::new(placement, config.w_e);
+        let pristine = RoutingGrid::new_with_defects(placement, config.w_e, defects);
         for t in schedule.transports() {
             let src = ports(placement, &pristine, t.src);
             if src.is_empty() {
@@ -173,7 +198,11 @@ pub fn route_corrected(
                     postpone[k] += STEP;
                 }
 
-                let (path, windows) = chosen.expect("loop exits with a path");
+                // The while loop above only exits with `chosen` set or by
+                // returning an error; keep a typed escape hatch anyway.
+                let Some((path, windows)) = chosen else {
+                    return Err(RouteError::CorrectionDiverged { task: t.id });
+                };
                 for (&cell, &window) in path.iter().zip(&windows) {
                     trial.reserve(cell, t.id, t.fluid, window, wash_of);
                 }
@@ -231,11 +260,18 @@ pub fn route_corrected(
     // totals are directly comparable.
     let washes = crate::router::collect_washes(&grid, wash_of);
 
+    // A transport whose consumer matches no scheduled operation is never
+    // visited by the correction walk; that is a malformed schedule, not a
+    // routing failure — surface it as a typed error instead of panicking.
+    let mut paths = Vec::with_capacity(final_paths.len());
+    for (i, p) in final_paths.into_iter().enumerate() {
+        paths.push(p.ok_or(RouteError::InconsistentSchedule {
+            task: TaskId::new(i as u32),
+        })?);
+    }
+
     Ok(Routing {
-        paths: final_paths
-            .into_iter()
-            .map(|p| p.expect("every task belongs to exactly one consumer"))
-            .collect(),
+        paths,
         channel_washes: washes,
         realized,
         grid: grid.spec(),

@@ -25,6 +25,13 @@ pub enum RouteError {
         /// The task whose postponement exceeded the budget.
         task: TaskId,
     },
+    /// The schedule handed to the router is internally inconsistent (e.g. a
+    /// transport task whose consumer never appears among the scheduled
+    /// operations), so the task was never visited.
+    InconsistentSchedule {
+        /// The task the router could not account for.
+        task: TaskId,
+    },
 }
 
 impl fmt::Display for RouteError {
@@ -38,6 +45,12 @@ impl fmt::Display for RouteError {
             }
             RouteError::CorrectionDiverged { task } => {
                 write!(f, "correction could not resolve conflicts for task {task}")
+            }
+            RouteError::InconsistentSchedule { task } => {
+                write!(
+                    f,
+                    "schedule is internally inconsistent: transport task {task} was never visited"
+                )
             }
         }
     }

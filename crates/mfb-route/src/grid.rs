@@ -69,6 +69,11 @@ pub struct RoutingGrid {
     /// is taxed on these cells and cached plugs may not park on a foreign
     /// component's ring, keeping component access unobstructed.
     ring: Vec<bool>,
+    /// Cells permanently unusable per the chip's defect map — treated as
+    /// infinite-cost (never routable), independent of component occupancy.
+    defect: Vec<bool>,
+    /// Extra per-cell routing weight for degraded-but-usable cells.
+    penalty: Vec<Duration>,
     cells: Vec<CellState>,
     /// Initial cell weight `w_e`.
     w_e: Duration,
@@ -78,6 +83,16 @@ impl RoutingGrid {
     /// Builds the grid for `placement`, blocking every component interior.
     /// `w_e` is the initial weight of every cell (paper default 10 s).
     pub fn new(placement: &Placement, w_e: Duration) -> Self {
+        RoutingGrid::new_with_defects(placement, w_e, &DefectMap::pristine())
+    }
+
+    /// [`RoutingGrid::new`] on a damaged chip: blocked cells of `defects`
+    /// are permanently unroutable (∞ cost — [`is_routable`] is `false`, so
+    /// neither the A* nor the baseline router will ever enter them) and
+    /// degraded cells carry their extra weight on top of `w(i)`.
+    ///
+    /// [`is_routable`]: Self::is_routable
+    pub fn new_with_defects(placement: &Placement, w_e: Duration, defects: &DefectMap) -> Self {
         let spec = placement.grid();
         let n = spec.cell_count() as usize;
         let mut blocked = vec![None; n];
@@ -101,10 +116,24 @@ impl RoutingGrid {
                 }
             }
         }
+        let mut defect = vec![false; n];
+        for &cell in defects.blocked_cells() {
+            if spec.contains(cell) {
+                defect[spec.index(cell)] = true;
+            }
+        }
+        let mut penalty = vec![Duration::ZERO; n];
+        for p in defects.penalties() {
+            if spec.contains(p.cell) {
+                penalty[spec.index(p.cell)] = Duration::from_secs(u64::from(p.extra_weight));
+            }
+        }
         RoutingGrid {
             spec,
             blocked,
             ring,
+            defect,
+            penalty,
             cells: vec![
                 CellState {
                     weight: w_e,
@@ -130,11 +159,19 @@ impl RoutingGrid {
         self.w_e
     }
 
-    /// `true` when `cell` is routable (inside the grid and not a component
-    /// interior).
+    /// `true` when `cell` is routable (inside the grid, not a component
+    /// interior, and not a blocked defect cell).
     #[inline]
     pub fn is_routable(&self, cell: CellPos) -> bool {
-        self.spec.contains(cell) && self.blocked[self.spec.index(cell)].is_none()
+        self.spec.contains(cell)
+            && self.blocked[self.spec.index(cell)].is_none()
+            && !self.defect[self.spec.index(cell)]
+    }
+
+    /// `true` when `cell` is marked permanently unusable by the defect map.
+    #[inline]
+    pub fn is_defect(&self, cell: CellPos) -> bool {
+        self.defect[self.spec.index(cell)]
     }
 
     /// The component occupying `cell`, if any.
@@ -150,10 +187,12 @@ impl RoutingGrid {
         self.ring[self.spec.index(cell)]
     }
 
-    /// The current routing weight `w(i)` of `cell`.
+    /// The current routing weight `w(i)` of `cell`, including any
+    /// degraded-cell penalty from the defect map.
     #[inline]
     pub fn weight(&self, cell: CellPos) -> Duration {
-        self.cells[self.spec.index(cell)].weight
+        let i = self.spec.index(cell);
+        self.cells[i].weight + self.penalty[i]
     }
 
     /// The residue currently contaminating `cell`.
@@ -347,6 +386,21 @@ mod tests {
             !g.is_routable(CellPos::new(12, 0)),
             "off-grid is unroutable"
         );
+    }
+
+    #[test]
+    fn defect_cells_are_unroutable_and_penalties_add_weight() {
+        let mut defects = DefectMap::pristine();
+        defects.block_cell(CellPos::new(5, 5));
+        defects.penalize_cell(CellPos::new(6, 6), 4);
+        let g = RoutingGrid::new_with_defects(&placement(), Duration::from_secs(10), &defects);
+        assert!(!g.is_routable(CellPos::new(5, 5)));
+        assert!(g.is_defect(CellPos::new(5, 5)));
+        assert!(g.is_routable(CellPos::new(6, 6)));
+        assert_eq!(g.weight(CellPos::new(6, 6)), Duration::from_secs(14));
+        assert_eq!(g.weight(CellPos::new(7, 7)), Duration::from_secs(10));
+        // Feasibility honors the defect mask too.
+        assert!(!g.feasible(CellPos::new(5, 5), iv(0, 10), OpId::new(0), wash2));
     }
 
     #[test]

@@ -17,6 +17,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod astar;
 pub mod baseline;
@@ -29,10 +31,13 @@ pub mod washplan;
 /// One-stop import of the routing API.
 pub mod prelude {
     pub use crate::astar::{find_path, AstarOptions};
-    pub use crate::baseline::route_corrected;
+    pub use crate::baseline::{route_corrected, route_corrected_with_defects};
     pub use crate::error::RouteError;
     pub use crate::grid::{ChannelWash, Reservation, RoutingGrid};
-    pub use crate::optimize::optimize_channel_length;
-    pub use crate::router::{ports, route_dcsa, RealizedTimes, RoutedPath, RouterConfig, Routing};
+    pub use crate::optimize::{optimize_channel_length, optimize_channel_length_with_defects};
+    pub use crate::router::{
+        ports, route_dcsa, route_dcsa_with_defects, RealizedTimes, RoutedPath, RouterConfig,
+        Routing,
+    };
     pub use crate::washplan::{plan_washes, Flush, WashPlan};
 }

@@ -31,6 +31,31 @@ pub fn optimize_channel_length(
     wash: &dyn WashModel,
     config: &RouterConfig,
 ) -> Routing {
+    optimize_channel_length_with_defects(
+        routing,
+        schedule,
+        graph,
+        placement,
+        wash,
+        config,
+        &DefectMap::pristine(),
+    )
+}
+
+/// [`optimize_channel_length`] on a damaged chip: re-routes are attempted on
+/// a defect-aware grid, so the optimizer never trades a legal detour for a
+/// shorter path through a blocked cell. With a pristine map this is exactly
+/// the plain optimizer.
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_channel_length_with_defects(
+    routing: &Routing,
+    schedule: &Schedule,
+    graph: &SequencingGraph,
+    placement: &Placement,
+    wash: &dyn WashModel,
+    config: &RouterConfig,
+    defects: &DefectMap,
+) -> Routing {
     // The optimizer re-books tasks at their *scheduled* windows; a routing
     // that carries correction delays lives at shifted times, and re-routing
     // it against scheduled windows would resurrect the conflicts the
@@ -45,7 +70,7 @@ pub fn optimize_channel_length(
     };
 
     // Rebuild the grid from the existing paths.
-    let mut grid = RoutingGrid::new(placement, config.w_e);
+    let mut grid = RoutingGrid::new_with_defects(placement, config.w_e, defects);
     let mut paths: Vec<RoutedPath> = routing.paths.clone();
     for p in &paths {
         for (cell, window) in p.occupancies() {

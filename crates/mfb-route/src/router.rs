@@ -404,21 +404,58 @@ pub fn route_dcsa(
     wash: &dyn WashModel,
     config: &RouterConfig,
 ) -> Result<Routing, RouteError> {
+    route_dcsa_with_defects(
+        schedule,
+        graph,
+        placement,
+        wash,
+        config,
+        &DefectMap::pristine(),
+    )
+}
+
+/// [`route_dcsa`] on a damaged chip: blocked cells of `defects` are
+/// permanently occupied (∞ cost) for the time-windowed A*, so no path —
+/// transport, parking or rip-up reference — ever crosses one, and degraded
+/// cells pay their extra weight in Eq. (5).
+///
+/// # Errors
+///
+/// Same as [`route_dcsa`]; a chip whose defects sever every corridor
+/// surfaces as [`RouteError::Unroutable`] or [`RouteError::NoPorts`].
+pub fn route_dcsa_with_defects(
+    schedule: &Schedule,
+    graph: &SequencingGraph,
+    placement: &Placement,
+    wash: &dyn WashModel,
+    config: &RouterConfig,
+    defects: &DefectMap,
+) -> Result<Routing, RouteError> {
     // Routing order matters: the paper's start-time order is tried first;
     // if some task cannot be realized, a second pass routes the
     // longest-occupancy tasks first — hard-to-place cached plugs claim
     // parking early, and short flexible transports thread around them.
     let mut by_start: Vec<&TransportTask> = schedule.transports().collect();
     by_start.sort_by_key(|t| (t.depart, t.id));
-    let first = route_dcsa_ordered(schedule, graph, placement, wash, config, &by_start);
+    let first = route_dcsa_ordered(schedule, graph, placement, wash, config, &by_start, defects);
     if first.is_ok() {
         return first;
     }
     let mut by_occupancy: Vec<&TransportTask> = schedule.transports().collect();
     by_occupancy.sort_by_key(|t| (std::cmp::Reverse(t.occupancy().length()), t.depart, t.id));
-    route_dcsa_ordered(schedule, graph, placement, wash, config, &by_occupancy).or(first)
+    route_dcsa_ordered(
+        schedule,
+        graph,
+        placement,
+        wash,
+        config,
+        &by_occupancy,
+        defects,
+    )
+    .or(first)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn route_dcsa_ordered(
     schedule: &Schedule,
     graph: &SequencingGraph,
@@ -426,8 +463,9 @@ fn route_dcsa_ordered(
     wash: &dyn WashModel,
     config: &RouterConfig,
     order: &[&TransportTask],
+    defects: &DefectMap,
 ) -> Result<Routing, RouteError> {
-    let mut grid = RoutingGrid::new(placement, config.w_e);
+    let mut grid = RoutingGrid::new_with_defects(placement, config.w_e, defects);
     let wash_of = |op: OpId| wash.wash_time(graph.op(op).output_diffusion());
     let options = AstarOptions {
         use_weights: config.wash_aware_weights,
@@ -467,8 +505,9 @@ fn route_dcsa_ordered(
             }
             None => {
                 // Identify blockers along an unconstrained reference path
-                // and rip them out.
-                let pristine = RoutingGrid::new(placement, config.w_e);
+                // and rip them out. The reference grid carries no
+                // reservations but must still honor the defect mask.
+                let pristine = RoutingGrid::new_with_defects(placement, config.w_e, defects);
                 let window = t.occupancy();
                 let reference = find_path(
                     &pristine,
@@ -526,11 +565,18 @@ fn route_dcsa_ordered(
     // later use contributes its wash time (Fig. 9).
     let washes = collect_washes(&grid, wash_of);
 
+    let mut routed = Vec::with_capacity(paths.len());
+    for (i, p) in paths.into_iter().enumerate() {
+        // Every queued task either routes or rips blockers and requeues
+        // itself, so a drained queue means all paths are present — unless
+        // the schedule itself was inconsistent (e.g. hand-built).
+        routed.push(p.ok_or(RouteError::InconsistentSchedule {
+            task: TaskId::new(i as u32),
+        })?);
+    }
+
     Ok(Routing {
-        paths: paths
-            .into_iter()
-            .map(|p| p.expect("every task routed"))
-            .collect(),
+        paths: routed,
         channel_washes: washes,
         realized: RealizedTimes::from_schedule(schedule),
         grid: grid.spec(),
@@ -719,6 +765,76 @@ mod tests {
         let a = route_dcsa(&s, &g, &placement, &wash(), &RouterConfig::paper()).unwrap();
         let b = route_dcsa(&s, &g, &placement, &wash(), &RouterConfig::paper()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pristine_defects_match_plain_routing() {
+        let (g, _comps, s, placement) = chain_setup();
+        let plain = route_dcsa(&s, &g, &placement, &wash(), &RouterConfig::paper()).unwrap();
+        let with = route_dcsa_with_defects(
+            &s,
+            &g,
+            &placement,
+            &wash(),
+            &RouterConfig::paper(),
+            &DefectMap::pristine(),
+        )
+        .unwrap();
+        assert_eq!(plain, with);
+    }
+
+    #[test]
+    fn blocked_cells_force_detours_and_are_never_crossed() {
+        let (g, _comps, s, placement) = chain_setup();
+        // Wall off column x = 6 except one gap at y = 14, so every
+        // mixer -> heater transport must detour through the gap.
+        let mut defects = DefectMap::pristine();
+        for y in 0..14 {
+            defects.block_cell(CellPos::new(6, y));
+        }
+        let r = route_dcsa_with_defects(
+            &s,
+            &g,
+            &placement,
+            &wash(),
+            &RouterConfig::paper(),
+            &defects,
+        )
+        .unwrap();
+        for p in &r.paths {
+            for &c in &p.cells {
+                assert!(!defects.is_blocked(c), "path crosses blocked cell {c}");
+            }
+        }
+        let plain = route_dcsa(&s, &g, &placement, &wash(), &RouterConfig::paper()).unwrap();
+        let len = |r: &Routing| r.paths.iter().map(|p| p.cells.len()).sum::<usize>();
+        assert!(
+            len(&r) > len(&plain),
+            "the wall must lengthen at least one path"
+        );
+    }
+
+    #[test]
+    fn baseline_honors_defects_too() {
+        let (g, _comps, s, placement) = chain_setup();
+        let mut defects = DefectMap::pristine();
+        for y in 0..14 {
+            defects.block_cell(CellPos::new(6, y));
+        }
+        let r = crate::baseline::route_corrected_with_defects(
+            &s,
+            &g,
+            &placement,
+            &wash(),
+            &RouterConfig::paper(),
+            &defects,
+        )
+        .unwrap();
+        for p in &r.paths {
+            for &c in &p.cells {
+                assert!(!defects.is_blocked(c), "baseline path crosses blocked cell");
+            }
+        }
     }
 
     #[test]

@@ -14,6 +14,16 @@ pub enum SchedError {
         /// The missing component kind.
         kind: ComponentKind,
     },
+    /// Components of the required kind exist, but the defect map marks
+    /// every one of them dead.
+    AllComponentsDead {
+        /// The operation that cannot be bound.
+        op: OpId,
+        /// The kind whose instances are all dead.
+        kind: ComponentKind,
+        /// How many components of that kind the allocation has (all dead).
+        allocated: usize,
+    },
 }
 
 impl fmt::Display for SchedError {
@@ -22,6 +32,14 @@ impl fmt::Display for SchedError {
             SchedError::NoComponentForKind { op, kind } => write!(
                 f,
                 "operation {op} needs a {kind}, but the allocation contains none"
+            ),
+            SchedError::AllComponentsDead {
+                op,
+                kind,
+                allocated,
+            } => write!(
+                f,
+                "operation {op} needs a {kind}, but all {allocated} allocated are marked dead in the defect map"
             ),
         }
     }

@@ -34,6 +34,8 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![forbid(unsafe_code)]
 
 pub mod analysis;
@@ -49,7 +51,7 @@ pub mod prelude {
     pub use crate::analysis::{parallelism_profile, TimingAnalysis};
     pub use crate::error::SchedError;
     pub use crate::exact::{optimal_makespan, MAX_EXACT_OPS};
-    pub use crate::list::{schedule, BindingRule, SchedulerConfig};
+    pub use crate::list::{schedule, schedule_with_defects, BindingRule, SchedulerConfig};
     pub use crate::metrics::{
         component_usage, resource_utilization, ComponentUsage, ScheduleMetrics,
     };

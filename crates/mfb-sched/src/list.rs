@@ -91,13 +91,41 @@ pub fn schedule(
     wash: &dyn WashModel,
     config: &SchedulerConfig,
 ) -> Result<Schedule, SchedError> {
+    schedule_with_defects(graph, components, wash, config, &DefectMap::pristine())
+}
+
+/// [`schedule`] on a damaged chip: components marked dead in `defects` are
+/// excluded from binding entirely — Case II never selects them and Case I
+/// cannot reach them (operations are only ever bound to live components, so
+/// no resident fluid can sit in a dead one).
+///
+/// # Errors
+///
+/// [`SchedError::NoComponentForKind`] if an operation kind has no allocated
+/// component at all, [`SchedError::AllComponentsDead`] if components of the
+/// kind exist but the defect map kills every one.
+pub fn schedule_with_defects(
+    graph: &SequencingGraph,
+    components: &ComponentSet,
+    wash: &dyn WashModel,
+    config: &SchedulerConfig,
+    defects: &DefectMap,
+) -> Result<Schedule, SchedError> {
     for op in graph.ops() {
         let kind = ComponentKind::for_operation(op.kind());
-        if components.of_kind(kind).next().is_none() {
+        let allocated = components.of_kind(kind).count();
+        if allocated == 0 {
             return Err(SchedError::NoComponentForKind { op: op.id(), kind });
         }
+        if components.of_kind(kind).all(|c| defects.is_dead(c)) {
+            return Err(SchedError::AllComponentsDead {
+                op: op.id(),
+                kind,
+                allocated,
+            });
+        }
     }
-    Ok(Engine::new(graph, components, wash, config).run())
+    Ok(Engine::new(graph, components, wash, config, defects).run())
 }
 
 /// A fluid sitting inside the component that produced it.
@@ -140,6 +168,7 @@ struct Engine<'a> {
     components: &'a ComponentSet,
     wash: &'a dyn WashModel,
     config: &'a SchedulerConfig,
+    defects: &'a DefectMap,
     state: Vec<CompState>,
     scheduled: Vec<Option<ScheduledOp>>,
     unscheduled_parents: Vec<usize>,
@@ -156,6 +185,7 @@ impl<'a> Engine<'a> {
         components: &'a ComponentSet,
         wash: &'a dyn WashModel,
         config: &'a SchedulerConfig,
+        defects: &'a DefectMap,
     ) -> Self {
         let priorities = graph.priority_values(config.t_c);
         let unscheduled_parents: Vec<usize> =
@@ -174,6 +204,7 @@ impl<'a> Engine<'a> {
             components,
             wash,
             config,
+            defects,
             state: vec![CompState { resident: None }; components.len()],
             scheduled: vec![None; graph.len()],
             unscheduled_parents,
@@ -366,12 +397,14 @@ impl<'a> Engine<'a> {
                     .component;
             }
         }
-        // Case II / baseline: earliest estimated ready time, ties by id.
+        // Case II / baseline: earliest estimated ready time among *live*
+        // components, ties by id.
         let kind = ComponentKind::for_operation(self.graph.op(op).kind());
         self.components
             .of_kind(kind)
+            .filter(|&c| !self.defects.is_dead(c))
             .min_by_key(|&c| (self.ready_estimate(c), c))
-            .expect("component availability checked before scheduling")
+            .expect("live component availability checked before scheduling")
     }
 
     fn schedule_op(&mut self, op: OpId) {
@@ -720,6 +753,77 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, SchedError::NoComponentForKind { .. }));
         assert!(err.to_string().contains("heater"));
+    }
+
+    #[test]
+    fn dead_component_is_never_bound() {
+        // Two independent mixes on two mixers; killing mixer 0 forces both
+        // onto mixer 1 (serialised with an eviction wash).
+        let mut b = SequencingGraph::builder();
+        let o0 = b.operation(OperationKind::Mix, Duration::from_secs(5), d_wash(2.0));
+        let o1 = b.operation(OperationKind::Mix, Duration::from_secs(4), d_wash(2.0));
+        let g = b.build().unwrap();
+        let comps = two_mixers();
+        let mut defects = DefectMap::pristine();
+        defects.kill_component(ComponentId::new(0));
+        let s = schedule_with_defects(
+            &g,
+            &comps,
+            &wash_model(),
+            &SchedulerConfig::paper_dcsa(),
+            &defects,
+        )
+        .unwrap();
+        assert_eq!(s.binding(o0), ComponentId::new(1));
+        assert_eq!(s.binding(o1), ComponentId::new(1));
+    }
+
+    #[test]
+    fn all_dead_components_of_kind_is_an_error() {
+        let mut b = SequencingGraph::builder();
+        let o = b.operation(OperationKind::Mix, Duration::from_secs(5), d_wash(2.0));
+        let g = b.build().unwrap();
+        let comps = two_mixers();
+        let mut defects = DefectMap::pristine();
+        defects
+            .kill_component(ComponentId::new(0))
+            .kill_component(ComponentId::new(1));
+        let err = schedule_with_defects(
+            &g,
+            &comps,
+            &wash_model(),
+            &SchedulerConfig::paper_dcsa(),
+            &defects,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SchedError::AllComponentsDead {
+                op: o,
+                kind: ComponentKind::Mixer,
+                allocated: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn pristine_defects_match_plain_schedule() {
+        let mut b = SequencingGraph::builder();
+        let o0 = b.operation(OperationKind::Mix, Duration::from_secs(5), d_wash(6.0));
+        let o1 = b.operation(OperationKind::Mix, Duration::from_secs(4), d_wash(2.0));
+        b.edge(o0, o1).unwrap();
+        let g = b.build().unwrap();
+        let cfg = SchedulerConfig::paper_dcsa();
+        let plain = schedule(&g, &two_mixers(), &wash_model(), &cfg).unwrap();
+        let with = schedule_with_defects(
+            &g,
+            &two_mixers(),
+            &wash_model(),
+            &cfg,
+            &DefectMap::pristine(),
+        )
+        .unwrap();
+        assert_eq!(plain, with);
     }
 
     #[test]

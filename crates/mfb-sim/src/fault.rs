@@ -1,0 +1,250 @@
+//! Mid-assay fault events and their impact on a committed solution.
+//!
+//! A solution synthesized against a defect map assumes the chip's damage is
+//! known *before* the assay starts. This module answers the complementary
+//! question: given a solution already executing, what breaks when a cell
+//! clogs or a component dies **at tick `t`**? Everything scheduled to touch
+//! the failed resource strictly after the fault is affected; work that
+//! completed before the fault is not. A solution with no affected work
+//! *survives* the fault without resynthesis — the quantity the
+//! `mfb faults --sweep` Monte-Carlo reports as the survival rate.
+
+use mfb_model::prelude::*;
+use mfb_place::prelude::Placement;
+use mfb_route::prelude::Routing;
+use mfb_sched::prelude::Schedule;
+use std::fmt;
+
+/// What physically fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// A grid cell becomes permanently unusable (clogged valve, burst
+    /// channel membrane).
+    CellBlocked(CellPos),
+    /// A component stops functioning entirely.
+    ComponentDead(ComponentId),
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::CellBlocked(c) => write!(f, "cell {c} blocked"),
+            FaultKind::ComponentDead(c) => write!(f, "component {c} dead"),
+        }
+    }
+}
+
+/// One mid-assay fault: `kind` happens at tick `at` and persists forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the fault strikes.
+    pub at: Instant,
+    /// What fails.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.kind, self.at)
+    }
+}
+
+/// The impact of one [`FaultEvent`] on a committed solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultImpact {
+    /// The fault assessed.
+    pub fault: FaultEvent,
+    /// Transport tasks whose reserved channel occupancy touches the failed
+    /// resource at or after the fault instant, in id order.
+    pub affected_tasks: Vec<TaskId>,
+    /// Operations bound to the failed resource (a dead component, or the
+    /// component whose footprint covers a blocked cell) that have not yet
+    /// finished when the fault strikes, in id order.
+    pub affected_ops: Vec<OpId>,
+}
+
+impl FaultImpact {
+    /// True when nothing still scheduled touches the failed resource: the
+    /// assay completes as planned despite the fault.
+    pub fn survives(&self) -> bool {
+        self.affected_tasks.is_empty() && self.affected_ops.is_empty()
+    }
+}
+
+/// Assesses each fault independently against a committed solution, using
+/// the routing's **realized** windows (baseline postponements included).
+pub fn assess_faults(
+    schedule: &Schedule,
+    placement: &Placement,
+    routing: &Routing,
+    faults: &[FaultEvent],
+) -> Vec<FaultImpact> {
+    faults
+        .iter()
+        .map(|&fault| assess_one(schedule, placement, routing, fault))
+        .collect()
+}
+
+fn assess_one(
+    schedule: &Schedule,
+    placement: &Placement,
+    routing: &Routing,
+    fault: FaultEvent,
+) -> FaultImpact {
+    let mut affected_tasks = Vec::new();
+    let mut affected_ops = Vec::new();
+
+    // A window `[start, end)` is hit when the fault strikes before it ends:
+    // occupancy at or after `at` uses the failed resource.
+    let hit = |w: Interval| w.end > fault.at;
+
+    match fault.kind {
+        FaultKind::CellBlocked(cell) => {
+            for p in &routing.paths {
+                if p.occupancies().any(|(c, w)| c == cell && hit(w)) {
+                    affected_tasks.push(p.task);
+                }
+            }
+            // A blocked cell under a component footprint takes the whole
+            // component down for everything it has not yet finished.
+            let dead_component = (0..placement.len() as u32)
+                .map(ComponentId::new)
+                .find(|&c| placement.rect(c).contains(cell));
+            if let Some(dc) = dead_component {
+                collect_component_work(
+                    schedule,
+                    routing,
+                    dc,
+                    fault.at,
+                    &mut affected_ops,
+                    &mut affected_tasks,
+                );
+            }
+        }
+        FaultKind::ComponentDead(c) => {
+            collect_component_work(
+                schedule,
+                routing,
+                c,
+                fault.at,
+                &mut affected_ops,
+                &mut affected_tasks,
+            );
+        }
+    }
+
+    affected_tasks.sort_unstable();
+    affected_tasks.dedup();
+    affected_ops.sort_unstable();
+    affected_ops.dedup();
+    FaultImpact {
+        fault,
+        affected_tasks,
+        affected_ops,
+    }
+}
+
+/// Everything still touching component `c` at or after `at`: unfinished
+/// operations bound to it, and transports that depart from or arrive at it.
+fn collect_component_work(
+    schedule: &Schedule,
+    routing: &Routing,
+    c: ComponentId,
+    at: Instant,
+    ops: &mut Vec<OpId>,
+    tasks: &mut Vec<TaskId>,
+) {
+    for s in schedule.ops() {
+        if s.component == c && routing.realized.end[s.op.index()] > at {
+            ops.push(s.op);
+        }
+    }
+    for t in schedule.transports() {
+        if (t.src == c || t.dst == c) && routing.paths[t.id.index()].window_hull().end > at {
+            tasks.push(t.id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::test_support::solved_instance;
+
+    #[test]
+    fn fault_after_completion_is_survived() {
+        let (_g, _comps, s, p, r, _w) = solved_instance();
+        let after = r.completion() + Duration::from_secs(1);
+        let impacts = assess_faults(
+            &s,
+            &p,
+            &r,
+            &[FaultEvent {
+                at: after,
+                kind: FaultKind::CellBlocked(r.paths[0].cells[0]),
+            }],
+        );
+        assert!(impacts[0].survives());
+    }
+
+    #[test]
+    fn blocking_an_active_path_cell_hits_its_task() {
+        let (_g, _comps, s, p, r, _w) = solved_instance();
+        let path = &r.paths[0];
+        let cell = path.cells[path.cells.len() / 2];
+        let impacts = assess_faults(
+            &s,
+            &p,
+            &r,
+            &[FaultEvent {
+                at: Instant::ZERO,
+                kind: FaultKind::CellBlocked(cell),
+            }],
+        );
+        assert!(impacts[0].affected_tasks.contains(&path.task));
+        assert!(!impacts[0].survives());
+    }
+
+    #[test]
+    fn dead_component_hits_its_unfinished_ops_and_transports() {
+        let (_g, _comps, s, p, r, _w) = solved_instance();
+        let victim = s.ops().next().unwrap().component;
+        let impacts = assess_faults(
+            &s,
+            &p,
+            &r,
+            &[FaultEvent {
+                at: Instant::ZERO,
+                kind: FaultKind::ComponentDead(victim),
+            }],
+        );
+        let i = &impacts[0];
+        assert!(!i.survives());
+        assert!(i.affected_ops.iter().all(|&o| s.op(o).component == victim));
+        assert!(!i.affected_ops.is_empty());
+    }
+
+    #[test]
+    fn assessment_is_deterministic_and_sorted() {
+        let (_g, _comps, s, p, r, _w) = solved_instance();
+        let faults = [
+            FaultEvent {
+                at: Instant::ZERO,
+                kind: FaultKind::ComponentDead(s.ops().next().unwrap().component),
+            },
+            FaultEvent {
+                at: Instant::ZERO,
+                kind: FaultKind::CellBlocked(r.paths[0].cells[0]),
+            },
+        ];
+        let a = assess_faults(&s, &p, &r, &faults);
+        let b = assess_faults(&s, &p, &r, &faults);
+        assert_eq!(a, b);
+        for i in &a {
+            let mut sorted = i.affected_tasks.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, i.affected_tasks);
+        }
+    }
+}

@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 
 pub mod events;
+pub mod fault;
 pub mod replay;
 pub mod stats;
 pub mod violation;
@@ -28,6 +29,7 @@ pub mod violation;
 /// One-stop import of the simulation API.
 pub mod prelude {
     pub use crate::events::{event_log, render_event_log, ChipEvent};
+    pub use crate::fault::{assess_faults, FaultEvent, FaultImpact, FaultKind};
     pub use crate::replay::{replay, validate_solution, SimReport};
     pub use crate::stats::SimStats;
     pub use crate::violation::SimViolation;

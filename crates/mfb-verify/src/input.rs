@@ -34,6 +34,7 @@ pub struct VerifyInput<'a> {
     pub wash: &'a dyn WashModel,
     /// Router configuration used when the wash plan must be rebuilt.
     pub router_config: RouterConfig,
+    defects: Option<&'a DefectMap>,
     sched_cache: OnceCell<Vec<ScheduleViolation>>,
     replay_cache: OnceCell<SimReport>,
     wash_plan_cache: OnceCell<WashPlan>,
@@ -58,10 +59,24 @@ impl<'a> VerifyInput<'a> {
             routing,
             wash,
             router_config,
+            defects: None,
             sched_cache: OnceCell::new(),
             replay_cache: OnceCell::new(),
             wash_plan_cache: OnceCell::new(),
         }
+    }
+
+    /// Attaches the defect map the solution was synthesised against, so
+    /// `DRC-FAULT-001` can assert no artifact touches a defect. Without
+    /// this the chip is assumed pristine and the rule passes trivially.
+    pub fn with_defects(mut self, defects: &'a DefectMap) -> Self {
+        self.defects = Some(defects);
+        self
+    }
+
+    /// The attached defect map, if any.
+    pub fn defects(&self) -> Option<&'a DefectMap> {
+        self.defects
     }
 
     /// `true` when every cross-reference in the artifacts resolves: bound

@@ -263,6 +263,19 @@ impl Rule for BindingConsistency {
                 }
             }
         }
+        for w in input.schedule.washes() {
+            if w.component.index() >= placed {
+                out.push(diag(
+                    self.0.id,
+                    self.0.severity,
+                    format!(
+                        "wash event names component {} but only {placed} components are placed",
+                        w.component
+                    ),
+                    Location::Component(w.component),
+                ));
+            }
+        }
         let transports = input.schedule.transports().len();
         for p in &input.routing.paths {
             if p.task.index() >= transports {
@@ -364,6 +377,87 @@ impl Rule for CachedFluidBlocks {
                         continue 'pairs; // one finding per blocked pair
                     }
                 }
+            }
+        }
+        out
+    }
+}
+
+/// Native cross-stage rule: when the [`VerifyInput`] carries a defect map,
+/// nothing in the solution may touch a defect — no routed path cell or
+/// channel wash on a blocked cell, no component footprint covering one,
+/// and no binding, transport endpoint or component wash on a dead
+/// component. Without a defect map the rule passes trivially.
+#[derive(Debug)]
+struct DefectAvoidance(RuleInfo);
+
+impl Rule for DefectAvoidance {
+    fn info(&self) -> RuleInfo {
+        self.0
+    }
+
+    fn check(&self, input: &VerifyInput<'_>) -> Vec<Diagnostic> {
+        let Some(defects) = input.defects() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut push = |message: String, location: Location| {
+            out.push(diag(self.0.id, self.0.severity, message, location));
+        };
+
+        for p in &input.routing.paths {
+            for &cell in &p.cells {
+                if defects.is_blocked(cell) {
+                    push(
+                        format!("path of {} crosses blocked cell {cell}", p.task),
+                        Location::Cell(cell),
+                    );
+                }
+            }
+        }
+        for w in &input.routing.channel_washes {
+            if defects.is_blocked(w.cell) {
+                push(
+                    format!("channel wash scheduled on blocked cell {}", w.cell),
+                    Location::Cell(w.cell),
+                );
+            }
+        }
+        let placed = input.placement.len().min(input.components.len());
+        for i in 0..placed {
+            let c = ComponentId::new(i as u32);
+            let rect = input.placement.rect(c);
+            if let Some(&cell) = defects.blocked_cells().iter().find(|&&b| rect.contains(b)) {
+                push(
+                    format!("component {c} placed over blocked cell {cell}"),
+                    Location::Component(c),
+                );
+            }
+        }
+        for s in input.schedule.ops() {
+            if defects.is_dead(s.component) {
+                push(
+                    format!("{} is bound to dead component {}", s.op, s.component),
+                    Location::Op(s.op),
+                );
+            }
+        }
+        for t in input.schedule.transports() {
+            for (label, c) in [("source", t.src), ("destination", t.dst)] {
+                if defects.is_dead(c) {
+                    push(
+                        format!("transport {} uses dead component {c} as {label}", t.id),
+                        Location::Task(t.id),
+                    );
+                }
+            }
+        }
+        for w in input.schedule.washes() {
+            if defects.is_dead(w.component) {
+                push(
+                    format!("wash scheduled on dead component {}", w.component),
+                    Location::Component(w.component),
+                );
             }
         }
         out
@@ -525,6 +619,12 @@ fn all_rules() -> Vec<Box<dyn Rule>> {
             "cached-fluid-blocks-transport",
             Error,
             "a fluid cached in the channel must not block another fluid's transport"
+        ))),
+        Box::new(DefectAvoidance(info!(
+            "DRC-FAULT-001",
+            "defect-avoidance",
+            Error,
+            "no routed path, placement footprint or binding may touch a defect-map entry"
         ))),
         Box::new(MiscAdapter(info!(
             "DRC-MISC-001",

@@ -426,12 +426,21 @@ pub mod test_runner {
 
     /// Drives one property: draws cases until `cfg.cases` are accepted,
     /// panicking on the first failure. Deterministically seeded from the
-    /// test name so failures reproduce.
+    /// test name so failures reproduce; setting `MFB_TEST_SEED=<u64>` in
+    /// the environment mixes an extra seed in, letting CI run the same
+    /// suite over several input streams (failures still reproduce by
+    /// exporting the same value).
     pub fn run_proptest<F>(cfg: &ProptestConfig, name: &str, mut case: F)
     where
         F: FnMut(&mut TestRng) -> TestCaseResult,
     {
-        let mut rng = TestRng::seed_from_u64(fnv1a(name.as_bytes()));
+        let extra = std::env::var("MFB_TEST_SEED")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .unwrap_or(0);
+        let mut rng = TestRng::seed_from_u64(
+            fnv1a(name.as_bytes()) ^ extra.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
         let mut accepted = 0u32;
         let mut attempts = 0u64;
         let max_attempts = u64::from(cfg.cases).saturating_mul(20).max(200);
