@@ -7,6 +7,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod perf;
+
 use mfb_bench_suite::{table1_benchmarks, Benchmark};
 use mfb_core::prelude::*;
 use mfb_model::prelude::*;
@@ -22,13 +24,16 @@ pub fn benchmarks() -> Vec<Benchmark> {
 }
 
 /// Runs both flows on every benchmark and returns the comparison rows.
+///
+/// Benchmarks run concurrently (bounded by `MFB_THREADS`) and rows come
+/// back in Table-I order; every row is a pure function of its benchmark,
+/// so the report is identical to a serial run.
 pub fn compare_all() -> Vec<ComparisonRow> {
     let lib = ComponentLibrary::default();
-    benchmarks()
-        .into_iter()
-        .map(|b| {
-            ComparisonRow::compare(b.name, &b.graph, b.allocation, &lib, &wash())
-                .unwrap_or_else(|e| panic!("{}: {e}", b.name))
-        })
-        .collect()
+    let benches = benchmarks();
+    mfb_model::par::par_map_ordered(benches.len(), |i| {
+        let b = &benches[i];
+        ComparisonRow::compare(b.name, &b.graph, b.allocation, &lib, &wash())
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name))
+    })
 }

@@ -40,6 +40,7 @@ fn main() -> ExitCode {
         "validate" => cmd_validate(rest).map(ok),
         "verify" => cmd_verify(rest),
         "faults" => cmd_faults(rest).map(ok),
+        "bench" => cmd_bench(rest).map(ok),
         "ablation" => cmd_ablation().map(ok),
         "help" | "--help" | "-h" => {
             print!("{}", HELP);
@@ -111,6 +112,13 @@ USAGE:
         --trials <n>               defect maps per severity (default: 5)
         --seed <s>                 base RNG seed (default: 1)
         --flow ours|ba             which flow (default: ours)
+    mfb bench [options]            tracked perf baseline: time the
+                                   optimized SA and router against their
+                                   frozen references on every Table-I
+                                   benchmark (see BENCH_synthesis.json)
+        --json                     emit JSON instead of the text table
+        --out <file>               write the report to a file
+        --repeats <n>              timed repetitions, best-of (default: 3)
     mfb ablation                   binding/weight ablation study
 ";
 
@@ -138,13 +146,17 @@ fn cmd_list() -> Result<(), String> {
 
 fn compare_all() -> Result<Vec<ComparisonRow>, String> {
     let lib = ComponentLibrary::default();
-    table1_benchmarks()
-        .into_iter()
-        .map(|b| {
-            ComparisonRow::compare(b.name, &b.graph, b.allocation, &lib, &wash())
-                .map_err(|e| format!("{}: {e}", b.name))
-        })
-        .collect()
+    let benches = table1_benchmarks();
+    // Benchmarks compare concurrently (bounded by MFB_THREADS); folding the
+    // ordered results reports the same (lowest-index) error a serial scan
+    // would have hit first.
+    mfb_model::par::par_map_ordered(benches.len(), |i| {
+        let b = &benches[i];
+        ComparisonRow::compare(b.name, &b.graph, b.allocation, &lib, &wash())
+            .map_err(|e| format!("{}: {e}", b.name))
+    })
+    .into_iter()
+    .collect()
 }
 
 fn cmd_table1() -> Result<(), String> {
@@ -586,16 +598,20 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
         let midassay_at = Instant::from_secs((pristine_completion / 2.0) as u64);
 
         for (li, &(cell_p, comp_p)) in severities.iter().enumerate() {
-            let mut cell = SweepCell {
-                survived: 0,
-                trials,
-                attempts_sum: 0,
-                degradation_sum: 0.0,
-                midassay_survived: 0,
-                midassay_trials: 0,
-                drc_fault_findings: 0,
-            };
-            for trial in 0..trials {
+            // Every trial is a pure function of its trial seed, so trials
+            // run concurrently (bounded by MFB_THREADS) and fold into the
+            // cell in trial order — identical totals to the serial sweep,
+            // including the order-sensitive f64 degradation sum.
+            struct TrialOutcome {
+                /// `(attempts, degradation %, DRC-FAULT-001 findings)` of a
+                /// surviving resynthesis, if any.
+                survivor: Option<(u32, f64, usize)>,
+                /// Whether the pristine solution survived this trial's
+                /// mid-assay fault (`None` when the trial drew no defects).
+                midassay: Option<bool>,
+            }
+            let outcomes = mfb_model::par::par_map_ordered(trials as usize, |ti| {
+                let trial = ti as u32;
                 // Deterministic per (seed, benchmark, severity, trial).
                 let trial_seed = seed
                     .wrapping_mul(0x0000_0100_0000_01B3)
@@ -607,11 +623,9 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
                 // Resynthesize around the defects with the full ladder.
                 let outcome =
                     synth.synthesize_resilient(&b.graph, &comps, &wash(), &defects, &policy);
-                if let Some(sol) = outcome.solution() {
-                    cell.survived += 1;
-                    cell.attempts_sum += sol.attempts;
+                let survivor = outcome.solution().map(|sol| {
                     let completion = sol.routing.completion().as_secs_f64();
-                    cell.degradation_sum +=
+                    let degradation =
                         (completion - pristine_completion) / pristine_completion * 100.0;
                     // DRC-FAULT-001: no artifact of the survivor may touch
                     // a defect.
@@ -627,12 +641,13 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
                     )
                     .with_defects(&defects);
                     let report = registry.run(&input);
-                    cell.drc_fault_findings += report
+                    let drc_faults = report
                         .diagnostics
                         .iter()
                         .filter(|d| d.rule == "DRC-FAULT-001")
                         .count();
-                }
+                    (sol.attempts, degradation, drc_faults)
+                });
 
                 // Mid-assay: would the *pristine* solution, already
                 // executing, survive this trial's first fault striking at
@@ -647,8 +662,7 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
                             .first()
                             .map(|&c| FaultKind::ComponentDead(c))
                     });
-                if let Some(kind) = midassay_fault {
-                    cell.midassay_trials += 1;
+                let midassay = midassay_fault.map(|kind| {
                     let impacts = assess_faults(
                         &pristine.schedule,
                         &pristine.placement,
@@ -658,7 +672,30 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
                             kind,
                         }],
                     );
-                    if impacts.iter().all(|i| i.survives()) {
+                    impacts.iter().all(|i| i.survives())
+                });
+                TrialOutcome { survivor, midassay }
+            });
+
+            let mut cell = SweepCell {
+                survived: 0,
+                trials,
+                attempts_sum: 0,
+                degradation_sum: 0.0,
+                midassay_survived: 0,
+                midassay_trials: 0,
+                drc_fault_findings: 0,
+            };
+            for o in outcomes {
+                if let Some((attempts, degradation, drc_faults)) = o.survivor {
+                    cell.survived += 1;
+                    cell.attempts_sum += attempts;
+                    cell.degradation_sum += degradation;
+                    cell.drc_fault_findings += drc_faults;
+                }
+                if let Some(survived) = o.midassay {
+                    cell.midassay_trials += 1;
+                    if survived {
                         cell.midassay_survived += 1;
                     }
                 }
@@ -692,6 +729,40 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
                 cell.drc_fault_findings
             );
         }
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let mut json = false;
+    let mut out: Option<String> = None;
+    let mut repeats: u32 = 3;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--out" => out = Some(it.next().ok_or("--out needs a path")?.clone()),
+            "--repeats" => {
+                repeats = it
+                    .next()
+                    .ok_or("--repeats needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--repeats: {e}"))?;
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let report = mfb_bench::perf::perf_report(repeats.max(1));
+    let text = if json {
+        let mut s = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        s.push('\n');
+        s
+    } else {
+        mfb_bench::perf::perf_text(&report)
+    };
+    match out {
+        Some(path) => std::fs::write(&path, &text).map_err(|e| format!("{path}: {e}"))?,
+        None => print!("{text}"),
     }
     Ok(())
 }

@@ -186,8 +186,11 @@ impl Synthesizer {
 
         let base_grid = cfg.grid.unwrap_or_else(|| auto_grid(components));
         let attempts = cfg.max_placement_attempts.max(1);
-        let mut last_route_err = None;
-        for attempt in 0..attempts {
+
+        // One place-and-route attempt: a pure function of the attempt index
+        // (the SA seed and grid growth derive from it), so attempts can run
+        // in any order — or concurrently — without changing any result.
+        let attempt_once = |attempt: u32| -> Result<(Placement, Routing), AttemptError> {
             // Grow the grid every eighth attempt (4/3 linear each step),
             // capped so the factor arithmetic cannot overflow however large
             // the caller sets `max_placement_attempts`.
@@ -208,7 +211,7 @@ impl Synthesizer {
                         seed: cfg.sa.seed.wrapping_add(u64::from(attempt)),
                         ..cfg.sa
                     };
-                    place_sa_with_defects(components, &netlist, grid, &sa, defects)?
+                    place_sa_with_defects(components, &netlist, grid, &sa, defects)
                 }
                 PlacementStrategy::Constructive => place_constructive_with_defects(
                     components,
@@ -216,11 +219,12 @@ impl Synthesizer {
                     grid,
                     SpacingParams::default_routing(),
                     defects,
-                )?,
+                ),
                 PlacementStrategy::ForceDirected => {
-                    place_force_directed_with_defects(components, &netlist, grid, defects)?
+                    place_force_directed_with_defects(components, &netlist, grid, defects)
                 }
-            };
+            }
+            .map_err(AttemptError::Place)?;
 
             let routed = match cfg.routing {
                 RoutingStrategy::ConflictAware => route_dcsa_with_defects(
@@ -241,45 +245,85 @@ impl Synthesizer {
                 ),
             };
             match routed {
-                Ok(mut routing) => {
-                    if cfg.optimize_channels {
-                        routing = optimize_channel_length_with_defects(
-                            &routing,
-                            &schedule,
-                            graph,
-                            &placement,
-                            wash,
-                            &cfg.router,
-                            defects,
-                        );
-                    }
-                    return Ok(Solution {
-                        schedule,
-                        netlist,
-                        placement,
-                        routing,
-                        attempts: attempt + 1,
-                    });
-                }
-                // A placement-independent routing error (e.g. a schedule
-                // the router cannot account for) reproduces identically on
-                // every placement — return it now instead of burning the
-                // remaining attempt budget on a foregone conclusion.
-                Err(e) if route_error_is_placement_independent(&e) => {
-                    return Err(SynthesisError::Route {
-                        last: e,
-                        attempts: attempt + 1,
-                    });
-                }
-                Err(e) => last_route_err = Some(e),
+                Ok(routing) => Ok((placement, routing)),
+                Err(e) => Err(AttemptError::Route(e)),
             }
-        }
-        let last = match last_route_err {
-            Some(e) => e,
-            None => unreachable!("attempts >= 1 and every iteration records or returns"),
         };
-        Err(SynthesisError::Route { last, attempts })
+
+        // Attempt 0 runs alone (the common case routes first try); retry
+        // batches then fan out across threads. Results are consumed in
+        // attempt order, so the outcome — which attempt wins, which error
+        // surfaces, the exact `attempts` count — is byte-identical to the
+        // serial loop regardless of `MFB_THREADS`.
+        let batch = mfb_model::par::thread_limit().max(1) as u32;
+        let mut last_route_err = None;
+        let mut chosen: Option<(u32, Placement, Routing)> = None;
+        let mut start = 0u32;
+        'search: while start < attempts {
+            let chunk = if start == 0 {
+                1
+            } else {
+                (attempts - start).min(batch)
+            };
+            let results =
+                mfb_model::par::par_map_ordered(chunk as usize, |k| attempt_once(start + k as u32));
+            for (k, res) in results.into_iter().enumerate() {
+                let attempt = start + k as u32;
+                match res {
+                    Ok((placement, routing)) => {
+                        chosen = Some((attempt, placement, routing));
+                        break 'search;
+                    }
+                    Err(AttemptError::Place(e)) => return Err(e.into()),
+                    // A placement-independent routing error (e.g. a schedule
+                    // the router cannot account for) reproduces identically
+                    // on every placement — return it now instead of burning
+                    // the remaining attempt budget on a foregone conclusion.
+                    Err(AttemptError::Route(e)) if route_error_is_placement_independent(&e) => {
+                        return Err(SynthesisError::Route {
+                            last: e,
+                            attempts: attempt + 1,
+                        });
+                    }
+                    Err(AttemptError::Route(e)) => last_route_err = Some(e),
+                }
+            }
+            start += chunk;
+        }
+
+        let Some((attempt, placement, mut routing)) = chosen else {
+            let last = match last_route_err {
+                Some(e) => e,
+                None => unreachable!("attempts >= 1 and every iteration records or returns"),
+            };
+            return Err(SynthesisError::Route { last, attempts });
+        };
+        if cfg.optimize_channels {
+            routing = optimize_channel_length_with_defects(
+                &routing,
+                &schedule,
+                graph,
+                &placement,
+                wash,
+                &cfg.router,
+                defects,
+            );
+        }
+        Ok(Solution {
+            schedule,
+            netlist,
+            placement,
+            routing,
+            attempts: attempt + 1,
+        })
     }
+}
+
+/// One retry-loop attempt's failure: a placement error aborts the whole
+/// flow, a routing error is retried (unless placement-independent).
+enum AttemptError {
+    Place(PlaceError),
+    Route(RouteError),
 }
 
 /// True when re-placing with a different seed or grid cannot change the

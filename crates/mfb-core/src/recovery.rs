@@ -201,6 +201,21 @@ struct Partial {
     placement: Option<Placement>,
 }
 
+impl Partial {
+    /// Folds one attempt's artifacts in: a stage that ran overwrites the
+    /// stored artifact, a stage that was never reached leaves it alone —
+    /// consumed in attempt order, this reproduces the serial ladder's
+    /// "latest artifact wins" bookkeeping exactly.
+    fn absorb(&mut self, other: Partial) {
+        if other.schedule.is_some() {
+            self.schedule = other.schedule;
+        }
+        if other.placement.is_some() {
+            self.placement = other.placement;
+        }
+    }
+}
+
 impl Synthesizer {
     /// Runs the full flow under the escalation ladder described in the
     /// [module docs](self), honoring `defects` in every stage.
@@ -245,47 +260,70 @@ impl Synthesizer {
         // exit, falling off the block end the "budgets exhausted" one.
         'ladder: {
             // ---- Rung 1: fresh seeds on the original grid. ----
-            for i in 0..policy.reseed_attempts.max(1) {
-                attempt_no += 1;
-                let seed = cfg.sa.seed.wrapping_add(u64::from(i));
-                match attempt_once(
-                    cfg,
-                    graph,
-                    components,
-                    wash,
-                    base_grid,
-                    seed,
-                    cfg.t_c,
-                    &defects_now,
-                    policy.catch_panics,
-                    attempt_no,
-                    &mut partial,
-                ) {
-                    Ok(s) => return success(s, trace),
-                    Err(e) => {
-                        trace.attempts.push(RungAttempt {
-                            rung: Rung::Reseed,
-                            attempt: attempt_no,
-                            detail: format!(
-                                "seed {seed} on {}x{} grid",
-                                base_grid.width, base_grid.height
-                            ),
-                            error: e.to_string(),
-                        });
-                        let deterministic = e.is_deterministic();
-                        let fatal = globally_fatal(&e);
-                        last_err = Some(e);
-                        if fatal {
-                            break 'ladder;
-                        }
-                        if deterministic {
-                            // The seed is the only thing this rung varies
-                            // and the error does not depend on it: escalate
-                            // without burning the rest of the budget.
-                            break;
+            // Attempt 0 runs alone (it usually succeeds, and a
+            // deterministic error must escalate after exactly one try);
+            // subsequent reseeds fan out in thread-sized batches. Each
+            // attempt is a pure function of its seed, and results are
+            // consumed in seed order, so the outcome and the recorded trace
+            // are byte-identical to the serial rung for any `MFB_THREADS`.
+            let reseeds = policy.reseed_attempts.max(1);
+            let reseed_batch = mfb_model::par::thread_limit().max(1) as u32;
+            let mut next = 0u32;
+            'rung1: while next < reseeds {
+                let chunk = if next == 0 {
+                    1
+                } else {
+                    (reseeds - next).min(reseed_batch)
+                };
+                let results = mfb_model::par::par_map_ordered(chunk as usize, |k| {
+                    let i = next + k as u32;
+                    attempt_once(
+                        cfg,
+                        graph,
+                        components,
+                        wash,
+                        base_grid,
+                        cfg.sa.seed.wrapping_add(u64::from(i)),
+                        cfg.t_c,
+                        &defects_now,
+                        policy.catch_panics,
+                        i + 1,
+                    )
+                });
+                for (k, (res, artifacts)) in results.into_iter().enumerate() {
+                    let i = next + k as u32;
+                    attempt_no = i + 1;
+                    let seed = cfg.sa.seed.wrapping_add(u64::from(i));
+                    partial.absorb(artifacts);
+                    match res {
+                        Ok(s) => return success(s, trace),
+                        Err(e) => {
+                            trace.attempts.push(RungAttempt {
+                                rung: Rung::Reseed,
+                                attempt: attempt_no,
+                                detail: format!(
+                                    "seed {seed} on {}x{} grid",
+                                    base_grid.width, base_grid.height
+                                ),
+                                error: e.to_string(),
+                            });
+                            let deterministic = e.is_deterministic();
+                            let fatal = globally_fatal(&e);
+                            last_err = Some(e);
+                            if fatal {
+                                break 'ladder;
+                            }
+                            if deterministic {
+                                // The seed is the only thing this rung
+                                // varies and the error does not depend on
+                                // it: escalate without burning the rest of
+                                // the budget.
+                                break 'rung1;
+                            }
                         }
                     }
                 }
+                next += chunk;
             }
 
             // ---- Rung 2: grow the grid. ----
@@ -296,7 +334,7 @@ impl Synthesizer {
                     .sa
                     .seed
                     .wrapping_add(u64::from(policy.reseed_attempts.max(1) + g));
-                match attempt_once(
+                let (res, artifacts) = attempt_once(
                     cfg,
                     graph,
                     components,
@@ -307,8 +345,9 @@ impl Synthesizer {
                     &defects_now,
                     policy.catch_panics,
                     attempt_no,
-                    &mut partial,
-                ) {
+                );
+                partial.absorb(artifacts);
+                match res {
                     Ok(s) => return success(s, trace),
                     Err(e) => {
                         trace.attempts.push(RungAttempt {
@@ -330,7 +369,7 @@ impl Synthesizer {
             for k in 1..=policy.relax_tc_steps {
                 attempt_no += 1;
                 let t_c = cfg.t_c + Duration::from_secs(u64::from(k));
-                match attempt_once(
+                let (res, artifacts) = attempt_once(
                     cfg,
                     graph,
                     components,
@@ -341,8 +380,9 @@ impl Synthesizer {
                     &defects_now,
                     policy.catch_panics,
                     attempt_no,
-                    &mut partial,
-                ) {
+                );
+                partial.absorb(artifacts);
+                match res {
                     Ok(s) => return success(s, trace),
                     Err(e) => {
                         trace.attempts.push(RungAttempt {
@@ -372,7 +412,7 @@ impl Synthesizer {
                 };
                 defects_now.kill_component(victim);
                 attempt_no += 1;
-                match attempt_once(
+                let (res, artifacts) = attempt_once(
                     cfg,
                     graph,
                     components,
@@ -383,8 +423,9 @@ impl Synthesizer {
                     &defects_now,
                     policy.catch_panics,
                     attempt_no,
-                    &mut partial,
-                ) {
+                );
+                partial.absorb(artifacts);
+                match res {
                     Ok(s) => return success(s, trace),
                     Err(e) => {
                         trace.attempts.push(RungAttempt {
@@ -471,9 +512,42 @@ fn implicated_component(
 }
 
 /// One full pipeline run at fixed parameters, each stage individually
-/// panic-guarded.
+/// panic-guarded. Returns the attempt's own artifacts alongside the result
+/// (instead of mutating shared state) so attempts can run concurrently and
+/// be folded into [`Partial`] in attempt order.
 #[allow(clippy::too_many_arguments)]
 fn attempt_once(
+    cfg: &SynthesisConfig,
+    graph: &SequencingGraph,
+    components: &ComponentSet,
+    wash: &dyn WashModel,
+    grid: GridSpec,
+    seed: u64,
+    t_c: Duration,
+    defects: &DefectMap,
+    catch: bool,
+    attempt_no: u32,
+) -> (Result<Solution, SynthesisError>, Partial) {
+    let mut partial = Partial::default();
+    let result = attempt_inner(
+        cfg,
+        graph,
+        components,
+        wash,
+        grid,
+        seed,
+        t_c,
+        defects,
+        catch,
+        attempt_no,
+        &mut partial,
+    );
+    (result, partial)
+}
+
+/// The `?`-friendly body of [`attempt_once`].
+#[allow(clippy::too_many_arguments)]
+fn attempt_inner(
     cfg: &SynthesisConfig,
     graph: &SequencingGraph,
     components: &ComponentSet,

@@ -48,6 +48,7 @@ pub mod geom;
 pub mod graph;
 pub mod ids;
 pub mod operation;
+pub mod par;
 pub mod text;
 pub mod time;
 pub mod transport;

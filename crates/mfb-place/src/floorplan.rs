@@ -125,10 +125,10 @@ impl Placement {
         if !self.grid.contains_rect(rect) {
             return false;
         }
-        self.rects
-            .iter()
-            .enumerate()
-            .all(|(j, &other)| j == c.index() || !rect.inflated(CLEARANCE).intersects(other))
+        let inf = rect.inflated(CLEARANCE);
+        let ci = c.index();
+        let hit = |other: &CellRect| inf.intersects(*other);
+        !(self.rects[..ci].iter().any(hit) || self.rects[ci + 1..].iter().any(hit))
     }
 
     /// The first component whose rectangle covers a blocked cell of
@@ -196,16 +196,12 @@ impl std::error::Error for PlacementViolation {}
 pub fn rect_gap(a: CellRect, b: CellRect) -> u32 {
     let (ax2, ay2) = a.upper_right();
     let (bx2, by2) = b.upper_right();
-    let hgap = if ax2 <= b.origin.x {
-        b.origin.x - ax2
-    } else {
-        a.origin.x.saturating_sub(bx2)
-    };
-    let vgap = if ay2 <= b.origin.y {
-        b.origin.y - ay2
-    } else {
-        a.origin.y.saturating_sub(by2)
-    };
+    // Per axis, at most one of the two saturating differences is non-zero
+    // (`a` entirely below `b`, or entirely above), so the sum selects the
+    // separation without the data-dependent branch a min/else chain costs
+    // in the annealer's pair loop.
+    let hgap = b.origin.x.saturating_sub(ax2) + a.origin.x.saturating_sub(bx2);
+    let vgap = b.origin.y.saturating_sub(ay2) + a.origin.y.saturating_sub(by2);
     hgap + vgap
 }
 

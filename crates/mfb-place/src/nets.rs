@@ -123,6 +123,18 @@ impl NetList {
     pub fn is_empty(&self) -> bool {
         self.nets.is_empty()
     }
+
+    /// Net indices incident to each of `n_components` components, built
+    /// once so the incremental annealer can re-evaluate only the nets a
+    /// move touched. Indices are in net order within each bucket.
+    pub fn component_index(&self, n_components: usize) -> Vec<Vec<u32>> {
+        let mut by_comp = vec![Vec::new(); n_components];
+        for (i, net) in self.nets.iter().enumerate() {
+            by_comp[net.a.index()].push(i as u32);
+            by_comp[net.b.index()].push(i as u32);
+        }
+        by_comp
+    }
 }
 
 /// The paper's placement energy, Eq. (3):

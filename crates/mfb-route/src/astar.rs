@@ -43,6 +43,116 @@ impl Default for AstarOptions {
     }
 }
 
+/// Search counters, accumulated across every query run on one
+/// [`SearchScratch`]; `mfb bench` reports expansions/sec from these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Queries started (`find_path` + `dijkstra_map` calls).
+    pub queries: u64,
+    /// Heap pops that survived the stale-entry check and were expanded.
+    pub expansions: u64,
+    /// Heap pushes.
+    pub heap_pushes: u64,
+}
+
+/// Reusable search arena: one per router, shared by every net.
+///
+/// All per-query state lives in flat arrays validated by a generation
+/// stamp: [`SearchScratch::begin`] bumps a `u32` epoch instead of
+/// refilling, so starting a query is O(1) and a whole routing run performs
+/// no per-net allocation once the arrays have grown to the grid size. The
+/// heuristic and feasibility of a cell are each computed at most once per
+/// query (they are pure within one query) and memoized under the same
+/// epoch; the heuristic memo keeps the exact min-over-targets Manhattan
+/// value — with a bounding-box lower bound used only to stop the target
+/// scan early — so f-values, heap order and tie-breaking are bit-identical
+/// to the historical per-expansion scan.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    epoch: u32,
+    /// Stamp validating `dist`/`prev` for the current query.
+    visit_stamp: Vec<u32>,
+    dist: Vec<u64>,
+    prev: Vec<Option<CellPos>>,
+    /// Stamp marking target cells for the current query.
+    target_stamp: Vec<u32>,
+    /// Memoized heuristic (`h_stamp` validates `h_val`).
+    h_stamp: Vec<u32>,
+    h_val: Vec<u64>,
+    /// Memoized feasibility (`feas_stamp` validates `feas_val`).
+    feas_stamp: Vec<u32>,
+    feas_val: Vec<bool>,
+    /// Memoized per-cell step cost (`cost_stamp` validates `cost_val`) —
+    /// constant within a query, and probed up to once per incoming edge.
+    cost_stamp: Vec<u32>,
+    cost_val: Vec<u64>,
+    /// A* heap, cleared (not reallocated) between queries. Entries are
+    /// `(f, g·2³² | y·2¹⁶ | x)` — see [`pack`].
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Dijkstra heap for [`dijkstra_map_with`]; entries are [`pack`]ed.
+    dheap: BinaryHeap<Reverse<u64>>,
+    /// Counters across all queries since construction.
+    pub stats: SearchStats,
+}
+
+impl SearchScratch {
+    /// An empty arena; arrays grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        SearchScratch::default()
+    }
+
+    /// Starts a query over `n` cells: grows the arrays if needed and bumps
+    /// the epoch, invalidating every stamped entry at once.
+    fn begin(&mut self, n: usize) {
+        if self.visit_stamp.len() < n {
+            self.visit_stamp.resize(n, 0);
+            self.dist.resize(n, u64::MAX);
+            self.prev.resize(n, None);
+            self.target_stamp.resize(n, 0);
+            self.h_stamp.resize(n, 0);
+            self.h_val.resize(n, 0);
+            self.feas_stamp.resize(n, 0);
+            self.feas_val.resize(n, false);
+            self.cost_stamp.resize(n, 0);
+            self.cost_val.resize(n, 0);
+        }
+        if self.epoch == u32::MAX {
+            // Epoch wrap: degrade gracefully by resetting every stamp.
+            self.visit_stamp.fill(0);
+            self.target_stamp.fill(0);
+            self.h_stamp.fill(0);
+            self.feas_stamp.fill(0);
+            self.cost_stamp.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+        self.heap.clear();
+        self.dheap.clear();
+        self.stats.queries += 1;
+    }
+}
+
+/// Packs `(g, y, x)` into one `u64` whose natural order **is** the
+/// `(g, y, x)` lexicographic order of the historical heap tuples: `g` is
+/// bounded by grid area times the per-cell cost (≪ 2³²) and coordinates by
+/// the grid dimensions (≪ 2¹⁶), so the fields never carry.
+#[inline]
+fn pack(g: u64, cell: CellPos) -> u64 {
+    debug_assert!(g < 1 << 32 && cell.x < 1 << 16 && cell.y < 1 << 16);
+    (g << 32) | u64::from(cell.y) << 16 | u64::from(cell.x)
+}
+
+/// Inverse of [`pack`].
+#[inline]
+fn unpack(key: u64) -> (u64, CellPos) {
+    (
+        key >> 32,
+        CellPos::new((key & 0xFFFF) as u32, ((key >> 16) & 0xFFFF) as u32),
+    )
+}
+
 /// Finds a feasible path from any cell of `sources` to any cell of
 /// `targets`, for a fluid occupying each visited cell during
 /// `window_of(cell)`.
@@ -64,60 +174,145 @@ pub fn find_path(
     wash_of: impl Fn(OpId) -> Duration + Copy,
     options: AstarOptions,
 ) -> Option<Vec<CellPos>> {
+    let mut scratch = SearchScratch::new();
+    find_path_with(
+        &mut scratch,
+        grid,
+        sources,
+        targets,
+        window_of,
+        fluid,
+        wash_of,
+        options,
+    )
+}
+
+/// [`find_path`] on a caller-owned [`SearchScratch`] — the hot-path entry
+/// the router uses, allocation-free once the arena has grown to the grid.
+#[allow(clippy::too_many_arguments)]
+pub fn find_path_with(
+    scratch: &mut SearchScratch,
+    grid: &RoutingGrid,
+    sources: &[CellPos],
+    targets: &[CellPos],
+    window_of: impl Fn(CellPos) -> Interval + Copy,
+    fluid: OpId,
+    wash_of: impl Fn(OpId) -> Duration + Copy,
+    options: AstarOptions,
+) -> Option<Vec<CellPos>> {
     if sources.is_empty() || targets.is_empty() {
         return None;
     }
     let spec = grid.spec();
+    // Every target off the grid: unreachable, and the historical search
+    // would only have exhausted the heap to conclude the same.
+    if !targets.iter().any(|&t| spec.contains(t)) {
+        return None;
+    }
     let n = spec.cell_count() as usize;
-    let mut is_target = vec![false; n];
+    scratch.begin(n);
+    let SearchScratch {
+        epoch,
+        visit_stamp,
+        dist,
+        prev,
+        target_stamp,
+        h_stamp,
+        h_val,
+        feas_stamp,
+        feas_val,
+        cost_stamp,
+        cost_val,
+        heap,
+        stats,
+        ..
+    } = scratch;
+    let epoch = *epoch;
     for &t in targets {
         if spec.contains(t) {
-            is_target[spec.index(t)] = true;
+            target_stamp[spec.index(t)] = epoch;
         }
     }
+    // Bounding box over *all* targets (off-grid included — they shape the
+    // historical heuristic too): a lower bound that lets the memoized exact
+    // min-over-targets scan stop early without changing its value.
+    let bx0 = targets.iter().map(|t| t.x).min().unwrap_or(0);
+    let bx1 = targets.iter().map(|t| t.x).max().unwrap_or(0);
+    let by0 = targets.iter().map(|t| t.y).min().unwrap_or(0);
+    let by1 = targets.iter().map(|t| t.y).max().unwrap_or(0);
 
-    let h = |cell: CellPos| -> u64 {
-        targets
-            .iter()
-            .map(|&t| u64::from(cell.manhattan(t)))
-            .min()
-            .unwrap_or(0)
-            * LENGTH_COST
+    let mut h = |cell: CellPos, idx: usize| -> u64 {
+        if h_stamp[idx] == epoch {
+            return h_val[idx];
+        }
+        let dx = u64::from(cell.x.clamp(bx0, bx1).abs_diff(cell.x));
+        let dy = u64::from(cell.y.clamp(by0, by1).abs_diff(cell.y));
+        let bound = dx + dy;
+        let mut min = u64::MAX;
+        for &t in targets {
+            min = min.min(u64::from(cell.manhattan(t)));
+            if min == bound {
+                break; // cannot get below the bounding-box distance
+            }
+        }
+        let v = min * LENGTH_COST;
+        h_stamp[idx] = epoch;
+        h_val[idx] = v;
+        v
     };
-    let cell_cost = |cell: CellPos| -> u64 {
-        LENGTH_COST
+    let mut cell_cost = |cell: CellPos, idx: usize| -> u64 {
+        if cost_stamp[idx] == epoch {
+            return cost_val[idx];
+        }
+        let c = LENGTH_COST
             + if grid.is_ring(cell) { RING_TAX } else { 0 }
             + if options.use_weights {
                 grid.weight(cell).as_ticks()
             } else {
                 0
-            }
+            };
+        cost_stamp[idx] = epoch;
+        cost_val[idx] = c;
+        c
+    };
+    let mut feasible = |cell: CellPos, idx: usize| -> bool {
+        if feas_stamp[idx] == epoch {
+            return feas_val[idx];
+        }
+        let f = grid.feasible(cell, window_of(cell), fluid, wash_of);
+        feas_stamp[idx] = epoch;
+        feas_val[idx] = f;
+        f
     };
 
-    let mut dist = vec![u64::MAX; n];
-    let mut prev: Vec<Option<CellPos>> = vec![None; n];
-    // Heap entries: Reverse((f, g, y, x)) — deterministic tie-breaking.
-    let mut heap: BinaryHeap<Reverse<(u64, u64, u32, u32)>> = BinaryHeap::new();
-
     for &s in sources {
-        if !grid.feasible(s, window_of(s), fluid, wash_of) {
+        let idx = spec.index(s);
+        if !feasible(s, idx) {
             continue;
         }
-        let g = cell_cost(s);
-        let idx = spec.index(s);
-        if g < dist[idx] {
+        let g = cell_cost(s, idx);
+        let known = if visit_stamp[idx] == epoch {
+            dist[idx]
+        } else {
+            u64::MAX
+        };
+        if g < known {
+            visit_stamp[idx] = epoch;
             dist[idx] = g;
-            heap.push(Reverse((g + h(s), g, s.y, s.x)));
+            prev[idx] = None;
+            heap.push(Reverse((g + h(s, idx), pack(g, s))));
+            stats.heap_pushes += 1;
         }
     }
 
-    while let Some(Reverse((_, g, y, x))) = heap.pop() {
-        let cell = CellPos::new(x, y);
+    while let Some(Reverse((_, key))) = heap.pop() {
+        let (g, cell) = unpack(key);
         let idx = spec.index(cell);
         if g > dist[idx] {
-            continue; // stale entry
+            continue; // stale entry — the cell was finalized cheaper
         }
-        if is_target[idx] {
+        stats.expansions += 1;
+        if target_stamp[idx] == epoch {
             // Reconstruct.
             let mut path = vec![cell];
             let mut cur = cell;
@@ -129,16 +324,25 @@ pub fn find_path(
             return Some(path);
         }
         for nb in cell.neighbours(spec.width, spec.height) {
-            if !grid.feasible(nb, window_of(nb), fluid, wash_of) {
+            let nidx = spec.index(nb);
+            // Cost test first: it is cheap, and a cell that cannot improve
+            // was either never feasible (dist = MAX, test passes) or
+            // already relaxed cheaper — skipping the feasibility probe and
+            // the heap push either way is outcome-identical.
+            let ng = g + cell_cost(nb, nidx);
+            let known = if visit_stamp[nidx] == epoch {
+                dist[nidx]
+            } else {
+                u64::MAX
+            };
+            if ng >= known || !feasible(nb, nidx) {
                 continue;
             }
-            let ng = g + cell_cost(nb);
-            let nidx = spec.index(nb);
-            if ng < dist[nidx] {
-                dist[nidx] = ng;
-                prev[nidx] = Some(cell);
-                heap.push(Reverse((ng + h(nb), ng, nb.y, nb.x)));
-            }
+            visit_stamp[nidx] = epoch;
+            dist[nidx] = ng;
+            prev[nidx] = Some(cell);
+            heap.push(Reverse((ng + h(nb, nidx), pack(ng, nb))));
+            stats.heap_pushes += 1;
         }
     }
     None
@@ -159,48 +363,91 @@ pub fn dijkstra_map(
     wash_of: impl Fn(OpId) -> Duration + Copy,
     options: AstarOptions,
 ) -> (Vec<u64>, Vec<Option<CellPos>>) {
+    let mut scratch = SearchScratch::new();
+    dijkstra_map_with(&mut scratch, grid, sources, window, fluid, wash_of, options)
+}
+
+/// [`dijkstra_map`] on a caller-owned [`SearchScratch`]: the heap is reused
+/// and feasibility is memoized per cell, but the returned maps are freshly
+/// allocated (they outlive the query).
+pub fn dijkstra_map_with(
+    scratch: &mut SearchScratch,
+    grid: &RoutingGrid,
+    sources: &[CellPos],
+    window: Interval,
+    fluid: OpId,
+    wash_of: impl Fn(OpId) -> Duration + Copy,
+    options: AstarOptions,
+) -> (Vec<u64>, Vec<Option<CellPos>>) {
     let spec = grid.spec();
     let n = spec.cell_count() as usize;
-    let cell_cost = |cell: CellPos| -> u64 {
-        LENGTH_COST
+    scratch.begin(n);
+    let SearchScratch {
+        epoch,
+        feas_stamp,
+        feas_val,
+        cost_stamp,
+        cost_val,
+        dheap: heap,
+        stats,
+        ..
+    } = scratch;
+    let epoch = *epoch;
+    let mut cell_cost = |cell: CellPos, idx: usize| -> u64 {
+        if cost_stamp[idx] == epoch {
+            return cost_val[idx];
+        }
+        let c = LENGTH_COST
             + if grid.is_ring(cell) { RING_TAX } else { 0 }
             + if options.use_weights {
                 grid.weight(cell).as_ticks()
             } else {
                 0
-            }
+            };
+        cost_stamp[idx] = epoch;
+        cost_val[idx] = c;
+        c
+    };
+    let mut feasible = |cell: CellPos, idx: usize| -> bool {
+        if feas_stamp[idx] == epoch {
+            return feas_val[idx];
+        }
+        let f = grid.feasible(cell, window, fluid, wash_of);
+        feas_stamp[idx] = epoch;
+        feas_val[idx] = f;
+        f
     };
     let mut dist = vec![u64::MAX; n];
     let mut prev: Vec<Option<CellPos>> = vec![None; n];
-    let mut heap: BinaryHeap<Reverse<(u64, u32, u32)>> = BinaryHeap::new();
     for &s in sources {
-        if !grid.feasible(s, window, fluid, wash_of) {
+        let idx = spec.index(s);
+        if !feasible(s, idx) {
             continue;
         }
-        let g = cell_cost(s);
-        let idx = spec.index(s);
+        let g = cell_cost(s, idx);
         if g < dist[idx] {
             dist[idx] = g;
-            heap.push(Reverse((g, s.y, s.x)));
+            heap.push(Reverse(pack(g, s)));
+            stats.heap_pushes += 1;
         }
     }
-    while let Some(Reverse((g, y, x))) = heap.pop() {
-        let cell = CellPos::new(x, y);
+    while let Some(Reverse(key)) = heap.pop() {
+        let (g, cell) = unpack(key);
         let idx = spec.index(cell);
         if g > dist[idx] {
             continue;
         }
+        stats.expansions += 1;
         for nb in cell.neighbours(spec.width, spec.height) {
-            if !grid.feasible(nb, window, fluid, wash_of) {
+            let nidx = spec.index(nb);
+            let ng = g + cell_cost(nb, nidx);
+            if ng >= dist[nidx] || !feasible(nb, nidx) {
                 continue;
             }
-            let ng = g + cell_cost(nb);
-            let nidx = spec.index(nb);
-            if ng < dist[nidx] {
-                dist[nidx] = ng;
-                prev[nidx] = Some(cell);
-                heap.push(Reverse((ng, nb.y, nb.x)));
-            }
+            dist[nidx] = ng;
+            prev[nidx] = Some(cell);
+            heap.push(Reverse(pack(ng, nb)));
+            stats.heap_pushes += 1;
         }
     }
     (dist, prev)

@@ -16,7 +16,7 @@
 //! the assay. The returned [`Routing::realized`] times carry those delays,
 //! which is where the baseline loses Table I's execution-time comparison.
 
-use crate::astar::{find_path, AstarOptions};
+use crate::astar::{find_path_with, AstarOptions, SearchScratch};
 use crate::error::RouteError;
 use crate::grid::RoutingGrid;
 use crate::router::{ports, RealizedTimes, RoutedPath, RouterConfig, Routing};
@@ -75,6 +75,8 @@ pub fn route_corrected_with_defects(
     let wash_of = |op: OpId| wash.wash_time(graph.op(op).output_diffusion());
     let options = AstarOptions { use_weights: false };
     let mut grid = RoutingGrid::new_with_defects(placement, config.w_e, defects);
+    // One search arena for every A* query this routing makes.
+    let mut scratch = SearchScratch::new();
 
     // ---- Phase 1: construct initial shortest paths, conflict-blind. ----
     let task_count = schedule.transports().len();
@@ -93,9 +95,17 @@ pub fn route_corrected_with_defects(
             // An un-reserved grid accepts any window: this is a pure
             // shortest-path query.
             let window = t.occupancy();
-            initial[t.id.index()] =
-                find_path(&pristine, &src, &dst, |_| window, t.fluid, wash_of, options)
-                    .ok_or(RouteError::Unroutable { task: t.id })?;
+            initial[t.id.index()] = find_path_with(
+                &mut scratch,
+                &pristine,
+                &src,
+                &dst,
+                |_| window,
+                t.fluid,
+                wash_of,
+                options,
+            )
+            .ok_or(RouteError::Unroutable { task: t.id })?;
         }
     }
 
@@ -170,6 +180,7 @@ pub fn route_corrected_with_defects(
                     // ...otherwise correct it by re-routing around the
                     // conflict...
                     if let Some(found) = crate::router::find_parked_path(
+                        &mut scratch,
                         &trial,
                         &src,
                         &dst,
@@ -185,7 +196,15 @@ pub fn route_corrected_with_defects(
                         // stay must cover both transport legs.
                         if full.length() >= schedule.t_c * 2 {
                             crate::router::find_remote_parking(
-                                &trial, &src, &dst, transport, full, t.fluid, wash_of, options,
+                                &mut scratch,
+                                &trial,
+                                &src,
+                                &dst,
+                                transport,
+                                full,
+                                t.fluid,
+                                wash_of,
+                                options,
                             )
                         } else {
                             None

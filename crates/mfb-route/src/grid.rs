@@ -52,7 +52,9 @@ struct CellState {
     residue: Option<OpId>,
     /// When the residue's occupancy ended.
     residue_since: Instant,
-    /// Occupancy slots, in insertion (routing) order.
+    /// Occupancy slots, sorted by `(window.start, window.end, task)` so
+    /// [`RoutingGrid::feasible`] can split them around a query window with
+    /// one binary search instead of a full scan.
     reservations: Vec<Reservation>,
 }
 
@@ -201,7 +203,8 @@ impl RoutingGrid {
         self.cells[self.spec.index(cell)].residue
     }
 
-    /// The occupancy slots of `cell`, in insertion order.
+    /// The occupancy slots of `cell`, sorted by window start (then end,
+    /// then task).
     pub fn reservations(&self, cell: CellPos) -> &[Reservation] {
         &self.cells[self.spec.index(cell)].reservations
     }
@@ -230,23 +233,31 @@ impl RoutingGrid {
             return false;
         }
         let state = &self.cells[self.spec.index(cell)];
+        // Reservations are sorted by window start, so one binary search
+        // splits them around the query: everything at or past `split`
+        // starts at/after `window.end` — never overlapping, and exactly the
+        // `earliest_after` candidates, of which the first (minimal start)
+        // wins. The prefix holds every possible overlap and, among its
+        // non-overlapping slots (`end <= window.start`), the
+        // `latest_before` candidates. Ties on start/end imply mutually
+        // overlapping slots, which the overlap rule forces to carry the
+        // same fluid, so tie-breaking cannot change the decision — this
+        // split is decision-identical to the historical full scan.
+        let rs = &state.reservations;
+        let split = rs.partition_point(|r| r.window.start < window.end);
         let mut latest_before: Option<&Reservation> = None;
-        let mut earliest_after: Option<&Reservation> = None;
-        for r in &state.reservations {
+        for r in &rs[..split] {
             if r.window.overlaps(window) {
                 if r.fluid == fluid {
                     continue;
                 }
                 return false;
             }
-            if r.window.end <= window.start {
-                if latest_before.map_or(true, |b| r.window.end > b.window.end) {
-                    latest_before = Some(r);
-                }
-            } else if earliest_after.map_or(true, |a| r.window.start < a.window.start) {
-                earliest_after = Some(r);
+            if latest_before.map_or(true, |b| r.window.end > b.window.end) {
+                latest_before = Some(r);
             }
         }
+        let earliest_after = rs[split..].first();
         if let Some(prev) = latest_before {
             if prev.fluid != fluid && prev.window.end + wash_of(prev.fluid) > window.start {
                 return false;
@@ -287,11 +298,17 @@ impl RoutingGrid {
             }
             _ => None,
         };
-        state.reservations.push(Reservation {
+        let slot = Reservation {
             task,
             fluid,
             window,
-        });
+        };
+        // Keep the slots sorted by (start, end, task); see `CellState`.
+        let key = (window.start, window.end, task);
+        let at = state
+            .reservations
+            .partition_point(|r| (r.window.start, r.window.end, r.task) <= key);
+        state.reservations.insert(at, slot);
         // Track the latest residue on the cell.
         if window.end >= state.residue_since {
             state.residue = Some(fluid);

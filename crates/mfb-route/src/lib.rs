@@ -25,19 +25,22 @@ pub mod baseline;
 pub mod error;
 pub mod grid;
 pub mod optimize;
+pub mod reference;
 pub mod router;
 pub mod washplan;
 
 /// One-stop import of the routing API.
 pub mod prelude {
-    pub use crate::astar::{find_path, AstarOptions};
+    pub use crate::astar::{
+        dijkstra_map_with, find_path, find_path_with, AstarOptions, SearchScratch, SearchStats,
+    };
     pub use crate::baseline::{route_corrected, route_corrected_with_defects};
     pub use crate::error::RouteError;
     pub use crate::grid::{ChannelWash, Reservation, RoutingGrid};
     pub use crate::optimize::{optimize_channel_length, optimize_channel_length_with_defects};
     pub use crate::router::{
-        ports, route_dcsa, route_dcsa_with_defects, RealizedTimes, RoutedPath, RouterConfig,
-        Routing,
+        ports, route_dcsa, route_dcsa_with_defects, route_dcsa_with_scratch, RealizedTimes,
+        RoutedPath, RouterConfig, Routing,
     };
     pub use crate::washplan::{plan_washes, Flush, WashPlan};
 }

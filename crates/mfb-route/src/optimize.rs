@@ -10,7 +10,7 @@
 //! distinct-channel-cell count does not grow. Conflict-freedom and the
 //! realized times are preserved exactly — only geometry improves.
 
-use crate::astar::AstarOptions;
+use crate::astar::{AstarOptions, SearchScratch};
 use crate::grid::RoutingGrid;
 use crate::router::{ports, route_one, RoutedPath, RouterConfig, Routing};
 use mfb_model::prelude::*;
@@ -71,6 +71,8 @@ pub fn optimize_channel_length_with_defects(
 
     // Rebuild the grid from the existing paths.
     let mut grid = RoutingGrid::new_with_defects(placement, config.w_e, defects);
+    // One search arena reused across every re-route attempt.
+    let mut scratch = SearchScratch::new();
     let mut paths: Vec<RoutedPath> = routing.paths.clone();
     for p in &paths {
         for (cell, window) in p.occupancies() {
@@ -93,7 +95,15 @@ pub fn optimize_channel_length_with_defects(
             let src_ports = ports(placement, &grid, t.src);
             let dst_ports = ports(placement, &grid, t.dst);
             let attempt = route_one(
-                &grid, schedule, t, &src_ports, &dst_ports, config, wash_of, options,
+                &mut scratch,
+                &grid,
+                schedule,
+                t,
+                &src_ports,
+                &dst_ports,
+                config,
+                wash_of,
+                options,
             );
 
             match attempt {

@@ -8,7 +8,7 @@
 //! task, cell weights become the wash time of the residue just deposited
 //! (Fig. 7), steering subsequent tasks onto cheap-to-wash shared channels.
 
-use crate::astar::{find_path, AstarOptions};
+use crate::astar::{find_path_with, AstarOptions, SearchScratch};
 use crate::error::RouteError;
 use crate::grid::{ChannelWash, RoutingGrid};
 use mfb_model::prelude::*;
@@ -224,6 +224,7 @@ impl fmt::Display for Routing {
 /// repeats. Returns the path and its per-cell windows.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn find_parked_path(
+    scratch: &mut SearchScratch,
     grid: &RoutingGrid,
     sources: &[CellPos],
     targets: &[CellPos],
@@ -248,7 +249,9 @@ pub(crate) fn find_parked_path(
                 transport
             }
         };
-        let path = find_path(grid, sources, targets, window_of, fluid, wash_of, options)?;
+        let path = find_path_with(
+            scratch, grid, sources, targets, window_of, fluid, wash_of, options,
+        )?;
         if previous.as_deref() == Some(path.as_slice()) {
             return None; // banning made no progress
         }
@@ -287,6 +290,7 @@ pub(crate) fn find_parked_path(
 /// `[consumed - t_c, consumed)`.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn find_remote_parking(
+    scratch: &mut SearchScratch,
     grid: &RoutingGrid,
     sources: &[CellPos],
     targets: &[CellPos],
@@ -296,13 +300,13 @@ pub(crate) fn find_remote_parking(
     wash_of: impl Fn(OpId) -> Duration + Copy,
     options: AstarOptions,
 ) -> Option<(Vec<CellPos>, Vec<Interval>)> {
-    use crate::astar::dijkstra_map;
+    use crate::astar::dijkstra_map_with;
     let spec = grid.spec();
     let t_c = transport.length();
     let leg2 = Interval::new(full.end.max(Instant::ZERO + t_c) - t_c, full.end);
 
-    let (d1, p1) = dijkstra_map(grid, sources, transport, fluid, wash_of, options);
-    let (d2, p2) = dijkstra_map(grid, targets, leg2, fluid, wash_of, options);
+    let (d1, p1) = dijkstra_map_with(scratch, grid, sources, transport, fluid, wash_of, options);
+    let (d2, p2) = dijkstra_map_with(scratch, grid, targets, leg2, fluid, wash_of, options);
 
     // Best parking cell: reachable on both legs and free for the full stay.
     let mut best: Option<(u64, CellPos)> = None;
@@ -431,13 +435,44 @@ pub fn route_dcsa_with_defects(
     config: &RouterConfig,
     defects: &DefectMap,
 ) -> Result<Routing, RouteError> {
+    let mut scratch = SearchScratch::new();
+    route_dcsa_with_scratch(
+        schedule,
+        graph,
+        placement,
+        wash,
+        config,
+        defects,
+        &mut scratch,
+    )
+}
+
+/// [`route_dcsa_with_defects`] on a caller-owned [`SearchScratch`]: the
+/// arena (and its accumulated [`crate::astar::SearchStats`]) survives the
+/// call, so batch drivers reuse one arena across placements and `mfb
+/// bench` reads expansion counts from it.
+///
+/// # Errors
+///
+/// Same as [`route_dcsa`].
+pub fn route_dcsa_with_scratch(
+    schedule: &Schedule,
+    graph: &SequencingGraph,
+    placement: &Placement,
+    wash: &dyn WashModel,
+    config: &RouterConfig,
+    defects: &DefectMap,
+    scratch: &mut SearchScratch,
+) -> Result<Routing, RouteError> {
     // Routing order matters: the paper's start-time order is tried first;
     // if some task cannot be realized, a second pass routes the
     // longest-occupancy tasks first — hard-to-place cached plugs claim
     // parking early, and short flexible transports thread around them.
     let mut by_start: Vec<&TransportTask> = schedule.transports().collect();
     by_start.sort_by_key(|t| (t.depart, t.id));
-    let first = route_dcsa_ordered(schedule, graph, placement, wash, config, &by_start, defects);
+    let first = route_dcsa_ordered(
+        schedule, graph, placement, wash, config, &by_start, defects, scratch,
+    );
     if first.is_ok() {
         return first;
     }
@@ -451,6 +486,7 @@ pub fn route_dcsa_with_defects(
         config,
         &by_occupancy,
         defects,
+        scratch,
     )
     .or(first)
 }
@@ -464,6 +500,7 @@ fn route_dcsa_ordered(
     config: &RouterConfig,
     order: &[&TransportTask],
     defects: &DefectMap,
+    scratch: &mut SearchScratch,
 ) -> Result<Routing, RouteError> {
     let mut grid = RoutingGrid::new_with_defects(placement, config.w_e, defects);
     let wash_of = |op: OpId| wash.wash_time(graph.op(op).output_diffusion());
@@ -490,7 +527,7 @@ fn route_dcsa_ordered(
             return Err(RouteError::NoPorts { component: t.dst });
         }
         match route_one(
-            &grid, schedule, t, &src_ports, &dst_ports, config, wash_of, options,
+            scratch, &grid, schedule, t, &src_ports, &dst_ports, config, wash_of, options,
         ) {
             Some((cells, windows)) => {
                 for (&cell, &window) in cells.iter().zip(&windows) {
@@ -509,7 +546,8 @@ fn route_dcsa_ordered(
                 // reservations but must still honor the defect mask.
                 let pristine = RoutingGrid::new_with_defects(placement, config.w_e, defects);
                 let window = t.occupancy();
-                let reference = find_path(
+                let reference = find_path_with(
+                    scratch,
                     &pristine,
                     &src_ports,
                     &dst_ports,
@@ -588,6 +626,7 @@ fn route_dcsa_ordered(
 /// departure-flexibility scan plus tail/remote parking (see module docs).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn route_one(
+    scratch: &mut SearchScratch,
     grid: &RoutingGrid,
     schedule: &Schedule,
     t: &TransportTask,
@@ -614,6 +653,7 @@ pub(crate) fn route_one(
         // and finish the trip just before consumption. Both are sound;
         // take whichever uses fewer channel cells.
         let tail = find_parked_path(
+            scratch,
             grid,
             src_ports,
             dst_ports,
@@ -629,7 +669,7 @@ pub(crate) fn route_one(
         // the stay must cover two full transport legs.
         let remote = if full.length() >= schedule.t_c * 2 {
             find_remote_parking(
-                grid, src_ports, dst_ports, transport, full, t.fluid, wash_of, options,
+                scratch, grid, src_ports, dst_ports, transport, full, t.fluid, wash_of, options,
             )
         } else {
             None
@@ -661,8 +701,14 @@ pub(crate) fn collect_washes(
     let mut washes = Vec::new();
     let spec = grid.spec();
     for cell in grid.used_cells() {
-        let mut rs: Vec<_> = grid.reservations(cell).to_vec();
-        rs.sort_by_key(|r| (r.window.start, r.window.end, r.task));
+        // Reservations are stored sorted by (window.start, window.end,
+        // task) — exactly the order the accounting needs, so no per-cell
+        // clone-and-sort.
+        let rs = grid.reservations(cell);
+        debug_assert!(rs
+            .windows(2)
+            .all(|p| (p[0].window.start, p[0].window.end, p[0].task)
+                <= (p[1].window.start, p[1].window.end, p[1].task)));
         for pair in rs.windows(2) {
             if pair[0].fluid != pair[1].fluid {
                 washes.push(ChannelWash {

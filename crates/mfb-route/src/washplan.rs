@@ -102,6 +102,9 @@ pub fn plan_washes(
     // Cells already cleaned up to some instant by earlier flushes.
     let mut cleaned: BTreeSet<(CellPos, u64)> = BTreeSet::new();
 
+    // BFS state reused across every leg of every flush.
+    let mut scratch = FlushScratch::default();
+
     let mut plan = WashPlan {
         flushes: Vec::new(),
         incidental: 0,
@@ -125,7 +128,7 @@ pub fn plan_washes(
             plan.incidental += 1;
             continue;
         }
-        match flush_path(&grid, &boundary, w.cell, window) {
+        match flush_path(&mut scratch, &grid, &boundary, w.cell, window) {
             Some(cells) => {
                 for &c in &cells {
                     cleaned.insert((c, window.end.as_ticks()));
@@ -163,11 +166,43 @@ fn gap_of(grid: &RoutingGrid, w: &ChannelWash) -> Option<(Instant, Instant)> {
     Some((start, deadline))
 }
 
+/// BFS state for [`flush_path`], reused across every leg of every flush:
+/// `begin` bumps an epoch stamp instead of refilling `dist`/`prev`, the
+/// same trick as [`crate::astar::SearchScratch`], so one wash plan performs
+/// no per-leg allocation once the arrays have grown to the grid size.
+#[derive(Debug, Default)]
+struct FlushScratch {
+    epoch: u32,
+    stamp: Vec<u32>,
+    dist: Vec<u32>,
+    prev: Vec<Option<CellPos>>,
+    heap: BinaryHeap<std::cmp::Reverse<(u32, u32, u32)>>,
+}
+
+impl FlushScratch {
+    /// Starts a leg over `n` cells; every stamped entry is invalidated.
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.dist.resize(n, u32::MAX);
+            self.prev.resize(n, None);
+        }
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+        self.heap.clear();
+    }
+}
+
 /// A buffer path boundary → `target` → boundary whose every cell is free
 /// of fluid traffic during `window`. Uses two BFS legs; the legs may share
 /// cells (a U-shaped flush), which is physically a back-and-forth flush
 /// and acceptable for planning purposes.
 fn flush_path(
+    scratch: &mut FlushScratch,
     grid: &RoutingGrid,
     boundary: &[CellPos],
     target: CellPos,
@@ -183,23 +218,32 @@ fn flush_path(
     if !free(target) {
         return None;
     }
-    let leg = |from_boundary: bool| -> Option<Vec<CellPos>> {
+    let mut leg = |from_boundary: bool| -> Option<Vec<CellPos>> {
         // Dijkstra with unit costs (plain BFS) from the boundary set to the
         // target; deterministic tie-breaking through the ordered heap.
         let spec = grid.spec();
         let n = spec.cell_count() as usize;
-        let mut dist = vec![u32::MAX; n];
-        let mut prev: Vec<Option<CellPos>> = vec![None; n];
-        let mut heap: BinaryHeap<std::cmp::Reverse<(u32, u32, u32)>> = BinaryHeap::new();
+        scratch.begin(n);
+        let FlushScratch {
+            epoch,
+            stamp,
+            dist,
+            prev,
+            heap,
+        } = scratch;
+        let epoch = *epoch;
         for &b in boundary {
             if free(b) {
+                stamp[spec.index(b)] = epoch;
                 dist[spec.index(b)] = 0;
+                prev[spec.index(b)] = None;
                 heap.push(std::cmp::Reverse((0, b.y, b.x)));
             }
         }
         while let Some(std::cmp::Reverse((d, y, x))) = heap.pop() {
             let cell = CellPos::new(x, y);
-            if d > dist[spec.index(cell)] {
+            let idx = spec.index(cell);
+            if stamp[idx] == epoch && d > dist[idx] {
                 continue;
             }
             if cell == target {
@@ -218,10 +262,17 @@ fn flush_path(
                 if !free(nb) {
                     continue;
                 }
+                let nidx = spec.index(nb);
+                let known = if stamp[nidx] == epoch {
+                    dist[nidx]
+                } else {
+                    u32::MAX
+                };
                 let nd = d + 1;
-                if nd < dist[spec.index(nb)] {
-                    dist[spec.index(nb)] = nd;
-                    prev[spec.index(nb)] = Some(cell);
+                if nd < known {
+                    stamp[nidx] = epoch;
+                    dist[nidx] = nd;
+                    prev[nidx] = Some(cell);
                     heap.push(std::cmp::Reverse((nd, nb.y, nb.x)));
                 }
             }

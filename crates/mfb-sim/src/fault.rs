@@ -74,16 +74,20 @@ impl FaultImpact {
 
 /// Assesses each fault independently against a committed solution, using
 /// the routing's **realized** windows (baseline postponements included).
+///
+/// Faults are assessed concurrently (bounded by `MFB_THREADS`); each
+/// assessment is a pure function of one fault and the shared solution, and
+/// impacts come back in input order, so the result is identical to the
+/// serial scan.
 pub fn assess_faults(
     schedule: &Schedule,
     placement: &Placement,
     routing: &Routing,
     faults: &[FaultEvent],
 ) -> Vec<FaultImpact> {
-    faults
-        .iter()
-        .map(|&fault| assess_one(schedule, placement, routing, fault))
-        .collect()
+    mfb_model::par::par_map_ordered(faults.len(), |i| {
+        assess_one(schedule, placement, routing, faults[i])
+    })
 }
 
 fn assess_one(

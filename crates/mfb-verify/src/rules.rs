@@ -33,7 +33,10 @@ pub struct RuleInfo {
 }
 
 /// One design rule: a named check over a complete synthesis result.
-pub trait Rule: fmt::Debug {
+///
+/// `Send + Sync` so a shared [`RuleRegistry`] can verify independent
+/// solutions from worker threads (e.g. the `mfb faults --sweep` trials).
+pub trait Rule: fmt::Debug + Send + Sync {
     /// The rule's static description.
     fn info(&self) -> RuleInfo;
     /// Runs the check; returns every finding (empty = rule satisfied).
