@@ -1,0 +1,295 @@
+//! JSON job manifests for `mfb batch`.
+//!
+//! A manifest is a JSON document describing a list of [`BatchJob`]s:
+//!
+//! ```json
+//! {
+//!   "jobs": [
+//!     { "bench": "PCR" },
+//!     { "bench": "PCR", "seed": 7 },
+//!     { "bench": "IVD", "repeat": 2 },
+//!     { "assay": "my_assay.txt", "flow": "baseline", "t_c_secs": 3.0 }
+//!   ]
+//! }
+//! ```
+//!
+//! A bare top-level array is accepted too. Each entry names its workload
+//! with exactly one of:
+//!
+//! * `"bench"` — a Table-I benchmark name (`"PCR"`, `"IVD"`, `"CPA"`,
+//!   `"Synthetic1"`…`"Synthetic4"`, case-insensitive, `"synth3"` accepted);
+//! * `"assay"` — a path to an assay text file (relative paths resolve
+//!   against the manifest's directory) whose `allocation` header is
+//!   required, since a batch job needs concrete components.
+//!
+//! Optional per-entry fields:
+//!
+//! * `"name"` — display-name override (defaults to the bench name or the
+//!   assay file stem);
+//! * `"flow"` — `"dcsa"`/`"ours"` (default) or `"ba"`/`"baseline"`;
+//! * `"seed"` — annealing seed override;
+//! * `"t_c_secs"` — transport-time constant override, seconds;
+//! * `"defects"` — an inline [`DefectMap`] JSON object;
+//! * `"repeat"` — clone the job *k* times (names gain a `#k` suffix when
+//!   `k > 1`); identical clones share every cache key, so repeats are the
+//!   simplest way to exercise warm-cache throughput.
+
+use crate::executor::BatchJob;
+use mfb_core::prelude::*;
+use mfb_model::prelude::*;
+use serde_json::Value;
+use std::fmt;
+use std::path::Path;
+
+/// Why a manifest could not be turned into jobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ManifestError {
+    /// The document is not valid JSON.
+    Json(String),
+    /// The document parsed but violates the manifest schema; the string
+    /// names the offending entry and field.
+    Schema(String),
+    /// An `"assay"` file could not be read or parsed.
+    Assay(String),
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifestError::Json(m) => write!(f, "manifest is not valid JSON: {m}"),
+            ManifestError::Schema(m) => write!(f, "manifest schema error: {m}"),
+            ManifestError::Assay(m) => write!(f, "assay error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+fn schema(msg: impl Into<String>) -> ManifestError {
+    ManifestError::Schema(msg.into())
+}
+
+/// Parses a manifest document into jobs, in document order (repeats
+/// expand in place). `base_dir` anchors relative `"assay"` paths.
+pub fn parse_manifest(text: &str, base_dir: &Path) -> Result<Vec<BatchJob>, ManifestError> {
+    let doc: Value = serde_json::from_str(text).map_err(|e| ManifestError::Json(e.to_string()))?;
+    let entries = match doc.get("jobs") {
+        Some(jobs) => jobs
+            .as_array()
+            .ok_or_else(|| schema("\"jobs\" must be an array"))?,
+        None => doc
+            .as_array()
+            .ok_or_else(|| schema("expected {\"jobs\": [...]} or a top-level array"))?,
+    };
+    if entries.is_empty() {
+        return Err(schema("manifest contains no jobs"));
+    }
+
+    let library = ComponentLibrary::default();
+    let mut out = Vec::new();
+    for (idx, entry) in entries.iter().enumerate() {
+        let job = parse_entry(entry, idx, base_dir, &library)?;
+        let repeat = match entry.get("repeat") {
+            None => 1,
+            Some(v) => {
+                let k = v.as_u64().ok_or_else(|| {
+                    schema(format!("job {idx}: \"repeat\" must be a positive integer"))
+                })?;
+                if k == 0 {
+                    return Err(schema(format!("job {idx}: \"repeat\" must be at least 1")));
+                }
+                k
+            }
+        };
+        if repeat == 1 {
+            out.push(job);
+        } else {
+            for k in 1..=repeat {
+                let mut clone = job.clone();
+                clone.name = format!("{}#{k}", job.name);
+                out.push(clone);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_entry(
+    entry: &Value,
+    idx: usize,
+    base_dir: &Path,
+    library: &ComponentLibrary,
+) -> Result<BatchJob, ManifestError> {
+    let bench = entry.get("bench").map(|v| {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| schema(format!("job {idx}: \"bench\" must be a string")))
+    });
+    let assay = entry.get("assay").map(|v| {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| schema(format!("job {idx}: \"assay\" must be a string")))
+    });
+
+    let (default_name, graph, components) = match (bench, assay) {
+        (Some(bench), None) => {
+            let bench = bench?;
+            let b = mfb_bench_suite::benchmark_by_name(&bench).ok_or_else(|| {
+                schema(format!(
+                    "job {idx}: unknown benchmark {bench:?} (expected a Table-I name)"
+                ))
+            })?;
+            let components = b.components(library);
+            (b.name.to_owned(), b.graph, components)
+        }
+        (None, Some(assay)) => {
+            let assay = assay?;
+            let path = base_dir.join(&assay);
+            let text = std::fs::read_to_string(&path).map_err(|e| {
+                ManifestError::Assay(format!("job {idx}: cannot read {}: {e}", path.display()))
+            })?;
+            let file = parse_assay(&text)
+                .map_err(|e| ManifestError::Assay(format!("job {idx}: {}: {e}", path.display())))?;
+            let allocation = file.allocation.ok_or_else(|| {
+                ManifestError::Assay(format!(
+                    "job {idx}: {} has no `allocation` header (batch jobs need one)",
+                    path.display()
+                ))
+            })?;
+            let components = allocation.instantiate(library);
+            let stem = Path::new(&assay)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or(assay);
+            (stem, file.graph, components)
+        }
+        (Some(_), Some(_)) => {
+            return Err(schema(format!(
+                "job {idx}: give \"bench\" or \"assay\", not both"
+            )))
+        }
+        (None, None) => {
+            return Err(schema(format!(
+                "job {idx}: needs a \"bench\" or \"assay\" field"
+            )))
+        }
+    };
+
+    let mut config = match entry.get("flow") {
+        None => SynthesisConfig::paper_dcsa(),
+        Some(v) => match v.as_str() {
+            Some("dcsa") | Some("ours") => SynthesisConfig::paper_dcsa(),
+            Some("ba") | Some("baseline") => SynthesisConfig::paper_baseline(),
+            _ => {
+                return Err(schema(format!(
+                    "job {idx}: \"flow\" must be \"dcsa\"/\"ours\" or \"ba\"/\"baseline\""
+                )))
+            }
+        },
+    };
+    if let Some(v) = entry.get("seed") {
+        let seed = v
+            .as_u64()
+            .ok_or_else(|| schema(format!("job {idx}: \"seed\" must be an unsigned integer")))?;
+        config = config.with_seed(seed);
+    }
+    if let Some(v) = entry.get("t_c_secs") {
+        let secs = v
+            .as_f64()
+            .filter(|s| s.is_finite() && *s >= 0.0)
+            .ok_or_else(|| {
+                schema(format!(
+                    "job {idx}: \"t_c_secs\" must be a non-negative number"
+                ))
+            })?;
+        config.t_c = Duration::from_secs_f64(secs);
+    }
+
+    let name = match entry.get("name") {
+        None => default_name,
+        Some(v) => v
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| schema(format!("job {idx}: \"name\" must be a string")))?,
+    };
+
+    let mut job = BatchJob::new(name, graph, components, config);
+    if let Some(v) = entry.get("defects") {
+        // Re-encode the sub-value and decode it as a DefectMap; the shim's
+        // Value is serde::Content, which round-trips losslessly.
+        let text =
+            serde_json::to_string(v).map_err(|e| schema(format!("job {idx}: \"defects\": {e}")))?;
+        let defects: DefectMap = serde_json::from_str(&text)
+            .map_err(|e| schema(format!("job {idx}: \"defects\" is not a defect map: {e}")))?;
+        job = job.with_defects(defects);
+    }
+    Ok(job)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bench_entries_with_overrides_and_repeat() {
+        let text = r#"{
+            "jobs": [
+                { "bench": "PCR" },
+                { "bench": "pcr", "seed": 7, "name": "PCR-alt" },
+                { "bench": "IVD", "repeat": 2, "flow": "baseline", "t_c_secs": 3.0 }
+            ]
+        }"#;
+        let jobs = parse_manifest(text, Path::new(".")).unwrap();
+        assert_eq!(jobs.len(), 4);
+        assert_eq!(jobs[0].name, "PCR");
+        assert_eq!(jobs[1].name, "PCR-alt");
+        assert_eq!(jobs[2].name, "IVD#1");
+        assert_eq!(jobs[3].name, "IVD#2");
+        // Same bench, different seed: different schedule config is NOT part
+        // of the seed, so the schedule keys still collide (seed only moves
+        // placement), while the default-seed PCR pair shares everything.
+        assert_eq!(jobs[0].schedule_key(), jobs[1].schedule_key());
+        assert_eq!(jobs[2].schedule_key(), jobs[3].schedule_key());
+        assert_ne!(jobs[0].schedule_key(), jobs[2].schedule_key());
+        assert_eq!(jobs[2].config.t_c, Duration::from_secs(3));
+        assert_eq!(
+            jobs[2].config.binding,
+            SynthesisConfig::paper_baseline().binding
+        );
+    }
+
+    #[test]
+    fn accepts_a_bare_array_document() {
+        let jobs = parse_manifest(r#"[ { "bench": "PCR" } ]"#, Path::new(".")).unwrap();
+        assert_eq!(jobs.len(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_entries_with_pointed_messages() {
+        let err = |text: &str| {
+            parse_manifest(text, Path::new("."))
+                .unwrap_err()
+                .to_string()
+        };
+        assert!(err("{}").contains("expected"));
+        assert!(err(r#"{ "jobs": [] }"#).contains("no jobs"));
+        assert!(err(r#"[ {} ]"#).contains("\"bench\" or \"assay\""));
+        assert!(err(r#"[ { "bench": "PCR", "assay": "x" } ]"#).contains("not both"));
+        assert!(err(r#"[ { "bench": "NoSuch" } ]"#).contains("unknown benchmark"));
+        assert!(err(r#"[ { "bench": "PCR", "flow": "fancy" } ]"#).contains("\"flow\""));
+        assert!(err(r#"[ { "bench": "PCR", "repeat": 0 } ]"#).contains("at least 1"));
+        assert!(err("not json").contains("not valid JSON"));
+    }
+
+    #[test]
+    fn inline_defects_round_trip_into_the_job() {
+        let mut defects = DefectMap::pristine();
+        defects.block_cell(CellPos::new(2, 3));
+        let defects_json = serde_json::to_string(&defects).unwrap();
+        let text = format!(r#"[ {{ "bench": "PCR", "defects": {defects_json} }} ]"#);
+        let jobs = parse_manifest(&text, Path::new(".")).unwrap();
+        assert_eq!(jobs[0].defects, defects);
+        assert!(!jobs[0].defects.is_pristine());
+    }
+}

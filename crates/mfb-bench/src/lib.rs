@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 
 pub mod perf;
+pub mod throughput;
 
 use mfb_bench_suite::{table1_benchmarks, Benchmark};
 use mfb_core::prelude::*;

@@ -85,10 +85,16 @@ pub struct PerfHeadline {
 pub struct PerfReport {
     /// Timed repetitions per measurement (best-of).
     pub repeats: u32,
+    /// The `MFB_THREADS` worker limit the batch axis ran under (the kernel
+    /// rows are serial by design; see the module docs).
+    pub threads: usize,
     /// Headline speedups (largest routable benchmark).
     pub headline: PerfHeadline,
     /// One row per Table-I benchmark.
     pub rows: Vec<PerfRow>,
+    /// The batch-throughput axis: assays/sec cold vs warm cache
+    /// (see [`crate::throughput`]).
+    pub batch: crate::throughput::ThroughputReport,
 }
 
 /// Runs `f` `repeats` times and returns (best wall seconds, last result).
@@ -266,8 +272,10 @@ pub fn perf_report(repeats: u32) -> PerfReport {
 
     PerfReport {
         repeats,
+        threads: mfb_model::par::thread_limit().max(1),
         headline,
         rows,
+        batch: crate::throughput::throughput_report(repeats),
     }
 }
 
@@ -318,6 +326,23 @@ pub fn perf_text(report: &PerfReport) -> String {
         report.headline.route_speedup,
         report.repeats
     );
+    let b = &report.batch;
+    let _ = writeln!(
+        out,
+        "batch ({} jobs, {} threads): cold {:.2} assays/s, warm {:.2} assays/s \
+         ({:.1}x, {} cache hits){}",
+        b.jobs,
+        b.threads,
+        b.cold_assays_per_sec,
+        b.warm_assays_per_sec,
+        b.warm_speedup,
+        b.warm_cache.hits(),
+        if b.warm_identical {
+            ""
+        } else {
+            "  WARM OUTPUT DIVERGED"
+        }
+    );
     out
 }
 
@@ -336,6 +361,11 @@ mod tests {
             assert!(row.astar_queries > 0, "{}", row.benchmark);
         }
         assert!(r.rows.iter().any(|row| row.route_ok));
+        assert_eq!(r.batch.jobs, 2 * r.rows.len());
+        assert!(r.batch.warm_identical, "warm batch diverged from cold");
+        assert_eq!(r.batch.warm_cache.misses(), 0);
+        assert!(r.batch.warm_speedup > 1.0);
+        assert!(r.threads >= 1);
         assert!(!perf_text(&r).is_empty());
     }
 }

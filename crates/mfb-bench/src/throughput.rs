@@ -1,0 +1,148 @@
+//! Batch-throughput axis of the tracked baseline: **assays per second**,
+//! cold cache versus warm cache.
+//!
+//! The workload is every Table-I benchmark plus a seed-perturbed variant
+//! of each (the "same assay, new annealing seed" shape a screening
+//! campaign produces). A *cold* run drains that batch through a fresh
+//! [`StageCache`]; a *warm* run drains the identical batch through the
+//! cache the cold run populated, so every stage is a hit and the measured
+//! time is pure lookup-and-fold overhead. Both numbers are best-of-`repeats`
+//! wall times via [`mfb_batch::executor::run_batch`], and the warm run's
+//! solutions are compared byte-for-byte against the cold run's
+//! ([`ThroughputReport::warm_identical`]) so a cache bug can never
+//! masquerade as a speedup.
+//!
+//! Unlike the kernel timings in [`crate::perf`], these measurements are
+//! deliberately run under the ambient `MFB_THREADS` limit — pipelining
+//! across workers is the thing being measured.
+
+use mfb_batch::prelude::*;
+use mfb_core::prelude::*;
+use mfb_model::prelude::*;
+use serde::Serialize;
+
+/// The cold-vs-warm batch measurement, serialized into
+/// `BENCH_synthesis.json` as the `batch` section.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThroughputReport {
+    /// Worker threads the batches ran with (`MFB_THREADS`-capped).
+    pub threads: usize,
+    /// Jobs per batch (Table I plus one perturbed variant each).
+    pub jobs: usize,
+    /// Best cold-cache wall time, seconds.
+    pub cold_seconds: f64,
+    /// Cold-cache throughput, assays per second.
+    pub cold_assays_per_sec: f64,
+    /// Best warm-cache wall time, seconds.
+    pub warm_seconds: f64,
+    /// Warm-cache throughput, assays per second.
+    pub warm_assays_per_sec: f64,
+    /// `warm_assays_per_sec / cold_assays_per_sec`.
+    pub warm_speedup: f64,
+    /// Whether every warm solution was byte-identical to its cold
+    /// counterpart. Anything but `true` is a cache defect.
+    pub warm_identical: bool,
+    /// Cache counters accumulated by the last cold batch.
+    pub cold_cache: CacheStats,
+    /// Cache counters accumulated by the last warm batch.
+    pub warm_cache: CacheStats,
+}
+
+/// The throughput workload: each Table-I benchmark under the paper flow,
+/// plus a seed-perturbed variant of each. The variant re-anneals placement
+/// but shares the schedule and netlist stages with its base job, so even a
+/// cold batch exercises intra-batch cache sharing.
+pub fn perturbed_table1_jobs() -> Vec<BatchJob> {
+    let lib = ComponentLibrary::default();
+    let mut jobs = Vec::new();
+    for b in mfb_bench_suite::table1_benchmarks() {
+        let comps = b.components(&lib);
+        jobs.push(BatchJob::new(
+            b.name,
+            b.graph.clone(),
+            comps.clone(),
+            SynthesisConfig::paper_dcsa(),
+        ));
+        jobs.push(BatchJob::new(
+            format!("{}+seed7", b.name),
+            b.graph,
+            comps,
+            SynthesisConfig::paper_dcsa().with_seed(7),
+        ));
+    }
+    jobs
+}
+
+fn solutions_json(run: &BatchRun) -> Vec<String> {
+    run.solutions
+        .iter()
+        .map(|r| match r {
+            Ok(s) => serde_json::to_string(s).expect("Solution serializes"),
+            Err(e) => format!("error: {e}"),
+        })
+        .collect()
+}
+
+/// Measures the batch workload cold and warm, best-of-`repeats` each.
+pub fn throughput_report(repeats: u32) -> ThroughputReport {
+    let jobs = perturbed_table1_jobs();
+    let repeats = repeats.max(1);
+
+    // Cold: a fresh cache per repeat. Keep the last repeat's cache (and
+    // solutions) as the warm run's starting point and golden reference.
+    let mut cold_best = f64::INFINITY;
+    let mut cold_run = None;
+    let mut cache = StageCache::new();
+    for _ in 0..repeats {
+        cache = StageCache::new();
+        let run = run_batch(&jobs, &cache);
+        cold_best = cold_best.min(run.report.wall_seconds);
+        cold_run = Some(run);
+    }
+    let cold_run = cold_run.expect("repeats >= 1");
+    let cold_json = solutions_json(&cold_run);
+
+    // Warm: the same batch over the populated cache.
+    let mut warm_best = f64::INFINITY;
+    let mut warm_run = None;
+    for _ in 0..repeats {
+        let run = run_batch(&jobs, &cache);
+        warm_best = warm_best.min(run.report.wall_seconds);
+        warm_run = Some(run);
+    }
+    let warm_run = warm_run.expect("repeats >= 1");
+    let warm_identical = solutions_json(&warm_run) == cold_json;
+
+    let n = jobs.len();
+    ThroughputReport {
+        threads: cold_run.report.threads,
+        jobs: n,
+        cold_seconds: cold_best,
+        cold_assays_per_sec: n as f64 / cold_best.max(1e-9),
+        warm_seconds: warm_best,
+        warm_assays_per_sec: n as f64 / warm_best.max(1e-9),
+        warm_speedup: cold_best / warm_best.max(1e-9),
+        warm_identical,
+        cold_cache: cold_run.report.cache,
+        warm_cache: warm_run.report.cache,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_workload_pairs_every_benchmark_with_a_variant() {
+        let jobs = perturbed_table1_jobs();
+        assert_eq!(jobs.len(), 2 * mfb_bench_suite::table1_benchmarks().len());
+        for pair in jobs.chunks(2) {
+            assert_eq!(
+                pair[0].schedule_key(),
+                pair[1].schedule_key(),
+                "{}: the seed variant must share its base job's schedule",
+                pair[0].name
+            );
+        }
+    }
+}

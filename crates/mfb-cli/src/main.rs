@@ -41,6 +41,7 @@ fn main() -> ExitCode {
         "verify" => cmd_verify(rest),
         "faults" => cmd_faults(rest).map(ok),
         "bench" => cmd_bench(rest).map(ok),
+        "batch" => cmd_batch(rest),
         "ablation" => cmd_ablation().map(ok),
         "help" | "--help" | "-h" => {
             print!("{}", HELP);
@@ -117,8 +118,19 @@ USAGE:
                                    frozen references on every Table-I
                                    benchmark (see BENCH_synthesis.json)
         --json                     emit JSON instead of the text table
+                                   (includes MFB_THREADS, the repeat
+                                   count, and per-stage cache counters)
         --out <file>               write the report to a file
         --repeats <n>              timed repetitions, best-of (default: 3)
+    mfb batch <manifest.json>      pipelined batch synthesis through the
+                                   content-addressed stage cache; reports
+                                   assays/sec and cache hit/miss counters
+                                   (exit 1 if any job fails)
+        --threads <n>              worker threads (sets MFB_THREADS)
+        --warm                     pre-populate the cache with one
+                                   untimed pass before the timed batch
+        --json                     emit the report as JSON
+        --out <file>               write the report to a file
     mfb ablation                   binding/weight ablation study
 ";
 
@@ -765,6 +777,114 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         None => print!("{text}"),
     }
     Ok(())
+}
+
+fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
+    use mfb_batch::prelude::*;
+
+    let mut manifest: Option<String> = None;
+    let mut json = false;
+    let mut warm = false;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--warm" => warm = true,
+            "--out" => out = Some(it.next().ok_or("--out needs a path")?.clone()),
+            "--threads" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--threads needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                std::env::set_var("MFB_THREADS", n.to_string());
+            }
+            other if manifest.is_none() && !other.starts_with('-') => {
+                manifest = Some(other.to_string());
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let manifest = manifest.ok_or("usage: mfb batch <manifest.json> [options]")?;
+    let text = std::fs::read_to_string(&manifest).map_err(|e| format!("{manifest}: {e}"))?;
+    let base_dir = std::path::Path::new(&manifest)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or_else(|| std::path::Path::new("."))
+        .to_path_buf();
+    let jobs = parse_manifest(&text, &base_dir).map_err(|e| e.to_string())?;
+
+    let cache = StageCache::new();
+    if warm {
+        // Untimed pre-pass: the reported batch then measures pure
+        // warm-cache throughput.
+        run_batch(&jobs, &cache);
+    }
+    let run = run_batch(&jobs, &cache);
+
+    let rendered = if json {
+        let mut s = serde_json::to_string_pretty(&run.report).map_err(|e| e.to_string())?;
+        s.push('\n');
+        s
+    } else {
+        batch_text(&run.report)
+    };
+    match out {
+        Some(path) => std::fs::write(&path, &rendered).map_err(|e| format!("{path}: {e}"))?,
+        None => print!("{rendered}"),
+    }
+    Ok(if run.report.failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// Plain-text rendering of a batch report.
+fn batch_text(report: &mfb_batch::prelude::BatchReport) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>3} {:>8} {:>9} {:>10} {:>5} {:>9} {:>9}",
+        "job", "ok", "attempts", "exec_s", "chan_mm", "warm", "prep_ms", "solve_ms"
+    );
+    for o in &report.outcomes {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>3} {:>8} {:>9.1} {:>10.1} {:>5} {:>9.2} {:>9.2}{}",
+            o.name,
+            if o.ok { "yes" } else { "NO" },
+            o.attempts,
+            o.execution_secs,
+            o.channel_length_mm,
+            if o.warm_schedule { "yes" } else { "no" },
+            o.prep_ms,
+            o.solve_ms,
+            match &o.error {
+                Some(e) => format!("  {e}"),
+                None => String::new(),
+            }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{}/{} jobs ok in {:.2}s on {} threads: {:.2} assays/s; cache {} hits / {} misses \
+         ({} schedule validations)",
+        report.ok,
+        report.jobs,
+        report.wall_seconds,
+        report.threads,
+        report.assays_per_sec,
+        report.cache.hits(),
+        report.cache.misses(),
+        report.cache.schedule_validations
+    );
+    out
 }
 
 fn cmd_audit(args: &[String]) -> Result<(), String> {

@@ -1,0 +1,687 @@
+//! The content-addressed stage-result cache.
+//!
+//! Every stage of the pipeline — scheduling, netlist construction,
+//! placement, routing, channel-length optimization — is a pure function of
+//! its inputs. The [`StageCache`] exploits that: each stage result is
+//! stored under a [`ContentHash`] key derived from *everything* the stage
+//! can observe, so a request whose inputs are unchanged returns the stored
+//! result instead of recomputing. Because the stages are pure, a cached
+//! result is **byte-identical** to what recomputation would produce — the
+//! golden tests in `tests/cache_equiv.rs` pin this.
+//!
+//! # Keying (invalidation falls out of it)
+//!
+//! There is no explicit invalidation: a key embeds the content hashes of
+//! its stage's inputs, so changing any input simply addresses a different
+//! slot. The keys are:
+//!
+//! * **schedule** ← assay graph, component set, wash-model fingerprint,
+//!   `t_c`, binding rule, defect map;
+//! * **netlist** ← the *produced* schedule's content hash, graph, wash
+//!   fingerprint, `β`, `γ`;
+//! * **placement** ← netlist key, component set, grid spec, placement
+//!   strategy with all its parameters (including the per-attempt SA seed),
+//!   defect map;
+//! * **routing** ← the produced schedule and placement content hashes,
+//!   graph, wash fingerprint, router configuration, routing strategy,
+//!   defect map;
+//! * **optimized routing** ← the routing key (which already pins the
+//!   routed solution and every optimizer input).
+//!
+//! Failed stages are cached too — every stage error is `Clone` and a
+//! deterministic property of the same inputs, so replaying a failure from
+//! the cache is byte-identical to recomputing it. Routing errors are
+//! stored without their attempt number and stamped with the caller's
+//! attempt counter on the way out, preserving exact error strings in
+//! recovery traces.
+//!
+//! # Concurrency & determinism
+//!
+//! The cache is shared across threads (`&StageCache` is `Send + Sync`).
+//! A computation in flight is marked in the map; other requesters of the
+//! same key block on a condvar instead of duplicating work, and a panic
+//! inside a compute closure releases the marker so waiters retry rather
+//! than hang. Since every slot holds the output of a pure function,
+//! thread interleaving can only affect *who* computes a value, never the
+//! value itself — synthesis results stay byte-identical for any
+//! `MFB_THREADS`. Aggregate hit/miss counters are deterministic as well:
+//! per stage, misses = distinct keys computed, hits = requests − misses.
+//!
+//! # Schedule validation (once per schedule hash)
+//!
+//! The cached schedule stage runs the independent validator
+//! (`mfb_sched::validate`) once per **distinct schedule content hash** per
+//! cache lifetime, instead of on every recovery-ladder rung that reuses
+//! the same bound schedule. A violation means the scheduler broke its own
+//! contract, so it surfaces as a panic — contained as
+//! [`SynthesisError::StagePanic`](crate::error::SynthesisError::StagePanic)
+//! under the resilient driver's guards.
+
+use crate::config::{PlacementStrategy, RoutingStrategy, SynthesisConfig};
+use mfb_model::hash::{content_hash, wash_fingerprint, ContentHash, StableHasher};
+use mfb_model::prelude::*;
+use mfb_place::prelude::{NetList, PlaceError, Placement, SpacingParams};
+use mfb_route::prelude::{RouteError, Routing};
+use mfb_sched::prelude::{validate, SchedError, Schedule, SchedulerConfig};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Aggregate hit/miss accounting for one [`StageCache`].
+///
+/// All counters are totals since the cache was created. They are
+/// deterministic for a given workload: per stage, `*_misses` is the number
+/// of distinct keys computed and `*_hits` is requests minus misses,
+/// independent of thread interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct CacheStats {
+    /// Schedule-stage requests served from the cache.
+    pub schedule_hits: u64,
+    /// Schedule-stage requests that had to compute.
+    pub schedule_misses: u64,
+    /// Netlist-stage requests served from the cache.
+    pub netlist_hits: u64,
+    /// Netlist-stage requests that had to compute.
+    pub netlist_misses: u64,
+    /// Placement-stage requests served from the cache.
+    pub placement_hits: u64,
+    /// Placement-stage requests that had to compute.
+    pub placement_misses: u64,
+    /// Routing-stage requests served from the cache.
+    pub routing_hits: u64,
+    /// Routing-stage requests that had to compute.
+    pub routing_misses: u64,
+    /// Channel-optimization requests served from the cache.
+    pub optimize_hits: u64,
+    /// Channel-optimization requests that had to compute.
+    pub optimize_misses: u64,
+    /// Full schedule validations run (once per distinct schedule hash).
+    pub schedule_validations: u64,
+}
+
+impl CacheStats {
+    /// Total hits across every stage.
+    pub fn hits(&self) -> u64 {
+        self.schedule_hits
+            + self.netlist_hits
+            + self.placement_hits
+            + self.routing_hits
+            + self.optimize_hits
+    }
+
+    /// Total misses across every stage.
+    pub fn misses(&self) -> u64 {
+        self.schedule_misses
+            + self.netlist_misses
+            + self.placement_misses
+            + self.routing_misses
+            + self.optimize_misses
+    }
+}
+
+/// Counter-wise saturating difference, for attributing activity to a
+/// window: snapshot before, subtract after. Counters are monotone, so
+/// saturation only matters if snapshots are swapped.
+impl std::ops::Sub for CacheStats {
+    type Output = CacheStats;
+
+    fn sub(self, rhs: CacheStats) -> CacheStats {
+        CacheStats {
+            schedule_hits: self.schedule_hits.saturating_sub(rhs.schedule_hits),
+            schedule_misses: self.schedule_misses.saturating_sub(rhs.schedule_misses),
+            netlist_hits: self.netlist_hits.saturating_sub(rhs.netlist_hits),
+            netlist_misses: self.netlist_misses.saturating_sub(rhs.netlist_misses),
+            placement_hits: self.placement_hits.saturating_sub(rhs.placement_hits),
+            placement_misses: self.placement_misses.saturating_sub(rhs.placement_misses),
+            routing_hits: self.routing_hits.saturating_sub(rhs.routing_hits),
+            routing_misses: self.routing_misses.saturating_sub(rhs.routing_misses),
+            optimize_hits: self.optimize_hits.saturating_sub(rhs.optimize_hits),
+            optimize_misses: self.optimize_misses.saturating_sub(rhs.optimize_misses),
+            schedule_validations: self
+                .schedule_validations
+                .saturating_sub(rhs.schedule_validations),
+        }
+    }
+}
+
+/// A slot is either a finished result or a computation in flight whose
+/// requesters should wait rather than duplicate the work.
+enum Slot<T> {
+    InFlight,
+    Ready(T),
+}
+
+/// A schedule entry: the bound schedule and its output content hash, or
+/// the (deterministic) scheduling error.
+type SchedEntry = Result<(Arc<Schedule>, ContentHash), SchedError>;
+/// A placement entry: the placement and its output content hash, or the
+/// placement error.
+type PlaceEntry = Result<(Arc<Placement>, ContentHash), PlaceError>;
+/// A routing entry. Routing errors are stored **without** an attempt
+/// number (the caller stamps its own on the way out).
+type RouteEntry = Result<Arc<Routing>, RouteError>;
+
+#[derive(Default)]
+struct CacheState {
+    schedules: HashMap<u64, Slot<SchedEntry>>,
+    netlists: HashMap<u64, Slot<Arc<NetList>>>,
+    places: HashMap<u64, Slot<PlaceEntry>>,
+    routes: HashMap<u64, Slot<RouteEntry>>,
+    optimized: HashMap<u64, Slot<Arc<Routing>>>,
+    /// Output hashes of schedules that have passed full validation.
+    validated: HashSet<u64>,
+    stats: CacheStats,
+}
+
+/// The shared content-addressed stage cache. See the [module docs](self).
+///
+/// Create one per batch (or reuse across calls for a warm cache) and pass
+/// it to [`Synthesizer::synthesize_cached`](crate::flow::Synthesizer::synthesize_cached)
+/// or the resilient driver. Entries live until the cache is dropped.
+pub struct StageCache {
+    state: Mutex<CacheState>,
+    ready: Condvar,
+}
+
+impl std::fmt::Debug for StageCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("StageCache").field("stats", &stats).finish()
+    }
+}
+
+impl Default for StageCache {
+    fn default() -> Self {
+        StageCache::new()
+    }
+}
+
+impl StageCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        StageCache {
+            state: Mutex::new(CacheState::default()),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// A snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats
+    }
+
+    /// True when a **finished** schedule result is stored under `key`
+    /// (see [`Synthesizer::schedule_cache_key`](crate::flow::Synthesizer::schedule_cache_key)).
+    pub fn contains_schedule(&self, key: ContentHash) -> bool {
+        matches!(
+            self.lock().schedules.get(&key.as_u64()),
+            Some(Slot::Ready(_))
+        )
+    }
+
+    /// The lock, recovered from poisoning: the state is only ever mutated
+    /// by small panic-free map operations, so a poisoned mutex (a panic in
+    /// *another* critical section user) leaves it consistent.
+    fn lock(&self) -> MutexGuard<'_, CacheState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Returns the cached value for `key`, computing (and storing) it with
+    /// `compute` on a miss. Concurrent requesters of an in-flight key
+    /// block until the computer finishes; if it panics instead, the
+    /// in-flight marker is released and a waiter takes over the
+    /// computation.
+    fn get_or_compute<T: Clone>(
+        &self,
+        map: fn(&mut CacheState) -> &mut HashMap<u64, Slot<T>>,
+        count: fn(&mut CacheStats, bool),
+        key: ContentHash,
+        compute: impl FnOnce() -> T,
+    ) -> T {
+        let k = key.as_u64();
+        {
+            let mut st = self.lock();
+            loop {
+                match map(&mut st).get(&k) {
+                    Some(Slot::Ready(v)) => {
+                        let v = v.clone();
+                        count(&mut st.stats, true);
+                        return v;
+                    }
+                    Some(Slot::InFlight) => {
+                        st = self.ready.wait(st).unwrap_or_else(PoisonError::into_inner);
+                    }
+                    None => {
+                        map(&mut st).insert(k, Slot::InFlight);
+                        count(&mut st.stats, false);
+                        break;
+                    }
+                }
+            }
+        }
+
+        // The in-flight marker is ours now; it must not survive a panic in
+        // `compute`, or every waiter on this key would block forever.
+        struct Reservation<'a, T> {
+            cache: &'a StageCache,
+            map: fn(&mut CacheState) -> &mut HashMap<u64, Slot<T>>,
+            k: u64,
+            armed: bool,
+        }
+        impl<T> Drop for Reservation<'_, T> {
+            fn drop(&mut self) {
+                if self.armed {
+                    let mut st = self.cache.lock();
+                    (self.map)(&mut st).remove(&self.k);
+                    drop(st);
+                    self.cache.ready.notify_all();
+                }
+            }
+        }
+        let mut reservation = Reservation {
+            cache: self,
+            map,
+            k,
+            armed: true,
+        };
+
+        let v = compute();
+
+        let mut st = self.lock();
+        map(&mut st).insert(k, Slot::Ready(v.clone()));
+        reservation.armed = false;
+        drop(st);
+        self.ready.notify_all();
+        v
+    }
+
+    /// Runs `run` if no schedule with output hash `schedule_h` has been
+    /// validated through this cache yet. The claim is atomic, so exactly
+    /// one requester validates each distinct schedule.
+    fn validate_once(&self, schedule_h: ContentHash, run: impl FnOnce()) {
+        {
+            let mut st = self.lock();
+            if !st.validated.insert(schedule_h.as_u64()) {
+                return;
+            }
+            st.stats.schedule_validations += 1;
+        }
+        run();
+    }
+}
+
+fn count_schedule(s: &mut CacheStats, hit: bool) {
+    if hit {
+        s.schedule_hits += 1;
+    } else {
+        s.schedule_misses += 1;
+    }
+}
+fn count_netlist(s: &mut CacheStats, hit: bool) {
+    if hit {
+        s.netlist_hits += 1;
+    } else {
+        s.netlist_misses += 1;
+    }
+}
+fn count_place(s: &mut CacheStats, hit: bool) {
+    if hit {
+        s.placement_hits += 1;
+    } else {
+        s.placement_misses += 1;
+    }
+}
+fn count_route(s: &mut CacheStats, hit: bool) {
+    if hit {
+        s.routing_hits += 1;
+    } else {
+        s.routing_misses += 1;
+    }
+}
+fn count_optimize(s: &mut CacheStats, hit: bool) {
+    if hit {
+        s.optimize_hits += 1;
+    } else {
+        s.optimize_misses += 1;
+    }
+}
+
+/// Content hashes of the four pipeline-wide inputs every stage key builds
+/// on. Computing them costs one JSON serialization each, so the uncached
+/// path never constructs one.
+pub(crate) struct BaseKeys {
+    graph_h: ContentHash,
+    comps_h: ContentHash,
+    wash_h: ContentHash,
+    defects_h: ContentHash,
+}
+
+impl BaseKeys {
+    pub(crate) fn new(
+        graph: &SequencingGraph,
+        components: &ComponentSet,
+        wash: &dyn WashModel,
+        defects: &DefectMap,
+    ) -> Self {
+        BaseKeys {
+            graph_h: content_hash(graph),
+            comps_h: content_hash(components),
+            wash_h: wash_fingerprint(wash, graph),
+            defects_h: content_hash(defects),
+        }
+    }
+
+    pub(crate) fn schedule_key(&self, sched_cfg: &SchedulerConfig) -> ContentHash {
+        let mut h = StableHasher::new();
+        h.write_str("sched-v1");
+        h.write_hash(self.graph_h);
+        h.write_hash(self.comps_h);
+        h.write_hash(self.wash_h);
+        h.write_hash(self.defects_h);
+        h.write_u64(sched_cfg.t_c.as_ticks());
+        h.write_hash(content_hash(&sched_cfg.rule));
+        h.finish()
+    }
+
+    fn netlist_key(&self, schedule_h: ContentHash, beta: f64, gamma: f64) -> ContentHash {
+        let mut h = StableHasher::new();
+        h.write_str("nets-v1");
+        h.write_hash(schedule_h);
+        h.write_hash(self.graph_h);
+        h.write_hash(self.wash_h);
+        h.write_f64(beta);
+        h.write_f64(gamma);
+        h.finish()
+    }
+
+    fn place_key(
+        &self,
+        netlist_key: ContentHash,
+        grid: GridSpec,
+        cfg: &SynthesisConfig,
+        seed: u64,
+    ) -> ContentHash {
+        let mut h = StableHasher::new();
+        h.write_str("place-v1");
+        h.write_hash(netlist_key);
+        h.write_hash(self.comps_h);
+        h.write_hash(self.defects_h);
+        h.write_u32(grid.width);
+        h.write_u32(grid.height);
+        h.write_f64(grid.pitch_mm);
+        match cfg.placement {
+            PlacementStrategy::SimulatedAnnealing => {
+                h.write_str("sa");
+                h.write_f64(cfg.sa.t0);
+                h.write_f64(cfg.sa.t_min);
+                h.write_f64(cfg.sa.alpha);
+                h.write_u32(cfg.sa.i_max);
+                h.write_u64(seed);
+                write_spacing(&mut h, cfg.sa.spacing);
+            }
+            PlacementStrategy::Constructive => {
+                h.write_str("constructive");
+                write_spacing(&mut h, SpacingParams::default_routing());
+            }
+            PlacementStrategy::ForceDirected => h.write_str("force-directed"),
+        }
+        h.finish()
+    }
+
+    fn route_key(
+        &self,
+        schedule_h: ContentHash,
+        place_h: ContentHash,
+        cfg: &SynthesisConfig,
+    ) -> ContentHash {
+        let mut h = StableHasher::new();
+        h.write_str("route-v1");
+        h.write_hash(schedule_h);
+        h.write_hash(place_h);
+        h.write_hash(self.graph_h);
+        h.write_hash(self.wash_h);
+        h.write_hash(self.defects_h);
+        h.write_str(match cfg.routing {
+            RoutingStrategy::ConflictAware => "conflict-aware",
+            RoutingStrategy::ConstructionByCorrection => "corrected",
+        });
+        h.write_u64(cfg.router.w_e.as_ticks());
+        h.write_bool(cfg.router.wash_aware_weights);
+        h.write_u32(cfg.router.plug_cells);
+        h.finish()
+    }
+
+    fn optimize_key(&self, route_key: ContentHash) -> ContentHash {
+        let mut h = StableHasher::new();
+        h.write_str("opt-v1");
+        h.write_hash(route_key);
+        h.finish()
+    }
+}
+
+fn write_spacing(h: &mut StableHasher, spacing: SpacingParams) {
+    h.write_u32(spacing.min_gap);
+    h.write_f64(spacing.weight);
+}
+
+/// Per-run stage adapter: either passes compute closures straight through
+/// (uncached — zero hashing overhead, byte-for-byte the pre-cache flow) or
+/// wraps them in [`StageCache`] lookups keyed off the precomputed
+/// [`BaseKeys`].
+pub(crate) struct StageCtx<'a> {
+    cache: Option<(&'a StageCache, BaseKeys)>,
+}
+
+impl<'a> StageCtx<'a> {
+    pub(crate) fn new(
+        cache: Option<&'a StageCache>,
+        graph: &SequencingGraph,
+        components: &ComponentSet,
+        wash: &dyn WashModel,
+        defects: &DefectMap,
+    ) -> Self {
+        StageCtx {
+            cache: cache.map(|c| (c, BaseKeys::new(graph, components, wash, defects))),
+        }
+    }
+
+    /// The scheduling stage. Returns the schedule and its output content
+    /// hash (zero when uncached — nothing downstream reads it then).
+    /// Cached schedules are validated once per distinct output hash.
+    pub(crate) fn schedule(
+        &self,
+        sched_cfg: &SchedulerConfig,
+        graph: &SequencingGraph,
+        components: &ComponentSet,
+        compute: impl FnOnce() -> Result<Schedule, SchedError>,
+    ) -> Result<(Schedule, ContentHash), SchedError> {
+        let Some((cache, keys)) = &self.cache else {
+            return compute().map(|s| (s, ContentHash::from_u64(0)));
+        };
+        let entry = cache.get_or_compute(
+            |s| &mut s.schedules,
+            count_schedule,
+            keys.schedule_key(sched_cfg),
+            || {
+                compute().map(|schedule| {
+                    let h = content_hash(&schedule);
+                    (Arc::new(schedule), h)
+                })
+            },
+        );
+        let (schedule, schedule_h) = entry?;
+        cache.validate_once(schedule_h, || {
+            let violations = validate(&schedule, graph, components);
+            assert!(
+                violations.is_empty(),
+                "bound schedule failed post-binding validation: {violations:?}"
+            );
+        });
+        Ok(((*schedule).clone(), schedule_h))
+    }
+
+    /// The netlist stage. Returns the netlist and the netlist *key* (not
+    /// an output hash — the key is already fully content-addressed, so
+    /// downstream keys build on it without serializing the netlist).
+    pub(crate) fn netlist(
+        &self,
+        schedule_h: ContentHash,
+        beta: f64,
+        gamma: f64,
+        compute: impl FnOnce() -> NetList,
+    ) -> (NetList, ContentHash) {
+        let Some((cache, keys)) = &self.cache else {
+            return (compute(), ContentHash::from_u64(0));
+        };
+        let key = keys.netlist_key(schedule_h, beta, gamma);
+        let netlist = cache.get_or_compute(
+            |s| &mut s.netlists,
+            count_netlist,
+            key,
+            || Arc::new(compute()),
+        );
+        ((*netlist).clone(), key)
+    }
+
+    /// The placement stage for one attempt. `seed` must be the effective
+    /// SA seed of this attempt (ignored by seedless strategies).
+    pub(crate) fn place(
+        &self,
+        netlist_key: ContentHash,
+        grid: GridSpec,
+        cfg: &SynthesisConfig,
+        seed: u64,
+        compute: impl FnOnce() -> Result<Placement, PlaceError>,
+    ) -> Result<(Placement, ContentHash), PlaceError> {
+        let Some((cache, keys)) = &self.cache else {
+            return compute().map(|p| (p, ContentHash::from_u64(0)));
+        };
+        let entry = cache.get_or_compute(
+            |s| &mut s.places,
+            count_place,
+            keys.place_key(netlist_key, grid, cfg, seed),
+            || {
+                compute().map(|placement| {
+                    let h = content_hash(&placement);
+                    (Arc::new(placement), h)
+                })
+            },
+        );
+        entry.map(|(placement, h)| ((*placement).clone(), h))
+    }
+
+    /// The routing stage. Returns the routing and the routing *key* (for
+    /// [`optimize`](StageCtx::optimize)); errors come back without an
+    /// attempt number — the caller stamps its own.
+    pub(crate) fn route(
+        &self,
+        schedule_h: ContentHash,
+        place_h: ContentHash,
+        cfg: &SynthesisConfig,
+        compute: impl FnOnce() -> Result<Routing, RouteError>,
+    ) -> (Result<Routing, RouteError>, ContentHash) {
+        let Some((cache, keys)) = &self.cache else {
+            return (compute(), ContentHash::from_u64(0));
+        };
+        let key = keys.route_key(schedule_h, place_h, cfg);
+        let entry = cache.get_or_compute(
+            |s| &mut s.routes,
+            count_route,
+            key,
+            || compute().map(Arc::new),
+        );
+        (entry.map(|routing| (*routing).clone()), key)
+    }
+
+    /// The channel-length optimization stage, keyed off the routing key.
+    pub(crate) fn optimize(
+        &self,
+        route_key: ContentHash,
+        compute: impl FnOnce() -> Routing,
+    ) -> Routing {
+        let Some((cache, keys)) = &self.cache else {
+            return compute();
+        };
+        let routing = cache.get_or_compute(
+            |s| &mut s.optimized,
+            count_optimize,
+            keys.optimize_key(route_key),
+            || Arc::new(compute()),
+        );
+        (*routing).clone()
+    }
+}
+
+impl std::fmt::Debug for StageCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StageCtx")
+            .field("cached", &self.cache.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn schedules(s: &mut CacheState) -> &mut HashMap<u64, Slot<SchedEntry>> {
+        &mut s.schedules
+    }
+
+    #[test]
+    fn second_request_is_a_hit_and_skips_compute() {
+        let cache = StageCache::new();
+        let calls = AtomicU32::new(0);
+        let key = ContentHash::from_u64(42);
+        let compute = || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(SchedError::NoComponentForKind {
+                op: OpId::new(0),
+                kind: ComponentKind::Mixer,
+            })
+        };
+        let a = cache.get_or_compute(schedules, count_schedule, key, compute);
+        let b = cache.get_or_compute(schedules, count_schedule, key, || {
+            unreachable!("hit must not recompute")
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(a.clone().unwrap_err(), b.unwrap_err());
+        let stats = cache.stats();
+        assert_eq!((stats.schedule_misses, stats.schedule_hits), (1, 1));
+    }
+
+    #[test]
+    fn panicking_compute_releases_the_slot() {
+        let cache = StageCache::new();
+        let key = ContentHash::from_u64(7);
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = cache.get_or_compute(schedules, count_schedule, key, || panic!("stage bug"));
+        }));
+        assert!(boom.is_err());
+        // The key must be computable again, not deadlocked in flight.
+        let v = cache.get_or_compute(schedules, count_schedule, key, || {
+            Err(SchedError::NoComponentForKind {
+                op: OpId::new(1),
+                kind: ComponentKind::Heater,
+            })
+        });
+        assert!(v.is_err());
+        assert_eq!(cache.stats().schedule_misses, 2);
+    }
+
+    #[test]
+    fn validate_once_runs_once_per_hash() {
+        let cache = StageCache::new();
+        let runs = AtomicU32::new(0);
+        for _ in 0..3 {
+            cache.validate_once(ContentHash::from_u64(1), || {
+                runs.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        cache.validate_once(ContentHash::from_u64(2), || {
+            runs.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(runs.load(Ordering::SeqCst), 2);
+        assert_eq!(cache.stats().schedule_validations, 2);
+    }
+}

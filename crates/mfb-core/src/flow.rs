@@ -1,8 +1,10 @@
 //! The top-down synthesis flow: scheduling → placement → routing, with
 //! routing-feedback placement retries.
 
+use crate::cache::{BaseKeys, StageCache, StageCtx};
 use crate::config::{PlacementStrategy, RoutingStrategy, SynthesisConfig};
 use crate::error::SynthesisError;
+use mfb_model::hash::ContentHash;
 use mfb_model::prelude::*;
 use mfb_place::prelude::*;
 use mfb_route::prelude::*;
@@ -176,13 +178,118 @@ impl Synthesizer {
         wash: &dyn WashModel,
         defects: &DefectMap,
     ) -> Result<Solution, SynthesisError> {
+        self.synthesize_inner(graph, components, wash, defects, None)
+    }
+
+    /// [`synthesize`](Synthesizer::synthesize) through a shared
+    /// [`StageCache`]: every stage result is looked up by the content hash
+    /// of its inputs before being computed, so repeated synthesis of
+    /// related jobs (same assay with a perturbed seed, ladder rungs reusing
+    /// a schedule, a warm batch) skips unchanged stages entirely. Cached
+    /// results are byte-identical to uncached synthesis.
+    ///
+    /// # Errors
+    ///
+    /// Any stage error; see [`SynthesisError`]. Errors are cached and
+    /// replayed identically too.
+    pub fn synthesize_cached(
+        &self,
+        graph: &SequencingGraph,
+        components: &ComponentSet,
+        wash: &dyn WashModel,
+        cache: &StageCache,
+    ) -> Result<Solution, SynthesisError> {
+        self.synthesize_inner(graph, components, wash, &DefectMap::pristine(), Some(cache))
+    }
+
+    /// [`synthesize_cached`](Synthesizer::synthesize_cached) on a damaged
+    /// chip — the defect map participates in every cache key.
+    ///
+    /// # Errors
+    ///
+    /// Any stage error; see [`SynthesisError`].
+    pub fn synthesize_cached_with_defects(
+        &self,
+        graph: &SequencingGraph,
+        components: &ComponentSet,
+        wash: &dyn WashModel,
+        defects: &DefectMap,
+        cache: &StageCache,
+    ) -> Result<Solution, SynthesisError> {
+        self.synthesize_inner(graph, components, wash, defects, Some(cache))
+    }
+
+    /// Runs only the scheduling and netlist stages, leaving their results
+    /// in `cache` for a later [`synthesize_cached`](Synthesizer::synthesize_cached)
+    /// to pick up warm. This is the "stage A" of the pipelined batch
+    /// executor: scheduling of job *i+1* overlaps placement and routing of
+    /// job *i*.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthesisError::Sched`] when the assay cannot be bound; the error
+    /// is cached, so the later full run replays it cheaply.
+    pub fn prepare_cached(
+        &self,
+        graph: &SequencingGraph,
+        components: &ComponentSet,
+        wash: &dyn WashModel,
+        defects: &DefectMap,
+        cache: &StageCache,
+    ) -> Result<(), SynthesisError> {
         let cfg = &self.config;
         let sched_cfg = SchedulerConfig {
             t_c: cfg.t_c,
             rule: cfg.binding,
         };
-        let schedule = schedule_with_defects(graph, components, wash, &sched_cfg, defects)?;
-        let netlist = NetList::build(&schedule, graph, wash, cfg.beta, cfg.gamma);
+        let ctx = StageCtx::new(Some(cache), graph, components, wash, defects);
+        let (schedule, schedule_h) = ctx.schedule(&sched_cfg, graph, components, || {
+            schedule_with_defects(graph, components, wash, &sched_cfg, defects)
+        })?;
+        ctx.netlist(schedule_h, cfg.beta, cfg.gamma, || {
+            NetList::build(&schedule, graph, wash, cfg.beta, cfg.gamma)
+        });
+        Ok(())
+    }
+
+    /// The cache key under which this synthesizer's schedule for
+    /// `(graph, components, wash, defects)` is stored. Useful with
+    /// [`StageCache::contains_schedule`] to attribute warm hits
+    /// deterministically before launching a batch.
+    pub fn schedule_cache_key(
+        &self,
+        graph: &SequencingGraph,
+        components: &ComponentSet,
+        wash: &dyn WashModel,
+        defects: &DefectMap,
+    ) -> ContentHash {
+        let sched_cfg = SchedulerConfig {
+            t_c: self.config.t_c,
+            rule: self.config.binding,
+        };
+        BaseKeys::new(graph, components, wash, defects).schedule_key(&sched_cfg)
+    }
+
+    fn synthesize_inner(
+        &self,
+        graph: &SequencingGraph,
+        components: &ComponentSet,
+        wash: &dyn WashModel,
+        defects: &DefectMap,
+        cache: Option<&StageCache>,
+    ) -> Result<Solution, SynthesisError> {
+        let cfg = &self.config;
+        let sched_cfg = SchedulerConfig {
+            t_c: cfg.t_c,
+            rule: cfg.binding,
+        };
+        let ctx = StageCtx::new(cache, graph, components, wash, defects);
+        let (schedule, schedule_h) = ctx.schedule(&sched_cfg, graph, components, || {
+            schedule_with_defects(graph, components, wash, &sched_cfg, defects)
+        })?;
+        let (netlist, netlist_key) = ctx.netlist(schedule_h, cfg.beta, cfg.gamma, || {
+            NetList::build(&schedule, graph, wash, cfg.beta, cfg.gamma)
+        });
 
         let base_grid = cfg.grid.unwrap_or_else(|| auto_grid(components));
         let attempts = cfg.max_placement_attempts.max(1);
@@ -190,65 +297,66 @@ impl Synthesizer {
         // One place-and-route attempt: a pure function of the attempt index
         // (the SA seed and grid growth derive from it), so attempts can run
         // in any order — or concurrently — without changing any result.
-        let attempt_once = |attempt: u32| -> Result<(Placement, Routing), AttemptError> {
-            // Grow the grid every eighth attempt (4/3 linear each step),
-            // capped so the factor arithmetic cannot overflow however large
-            // the caller sets `max_placement_attempts`.
-            let growth = (attempt / 8).min(8);
-            let side = |s: u32| {
-                let grown = u64::from(s) * 4u64.pow(growth) / 3u64.pow(growth);
-                (grown.min(u64::from(u32::MAX)) as u32).max(s)
-            };
-            let grid = GridSpec::new(
-                side(base_grid.width),
-                side(base_grid.height),
-                base_grid.pitch_mm,
-            );
+        let attempt_once =
+            |attempt: u32| -> Result<(Placement, Routing, ContentHash), AttemptError> {
+                // Grow the grid every eighth attempt (4/3 linear each step),
+                // capped so the factor arithmetic cannot overflow however large
+                // the caller sets `max_placement_attempts`.
+                let growth = (attempt / 8).min(8);
+                let side = |s: u32| {
+                    let grown = u64::from(s) * 4u64.pow(growth) / 3u64.pow(growth);
+                    (grown.min(u64::from(u32::MAX)) as u32).max(s)
+                };
+                let grid = GridSpec::new(
+                    side(base_grid.width),
+                    side(base_grid.height),
+                    base_grid.pitch_mm,
+                );
 
-            let placement = match cfg.placement {
-                PlacementStrategy::SimulatedAnnealing => {
-                    let sa = SaConfig {
-                        seed: cfg.sa.seed.wrapping_add(u64::from(attempt)),
-                        ..cfg.sa
-                    };
-                    place_sa_with_defects(components, &netlist, grid, &sa, defects)
-                }
-                PlacementStrategy::Constructive => place_constructive_with_defects(
-                    components,
-                    &netlist,
-                    grid,
-                    SpacingParams::default_routing(),
-                    defects,
-                ),
-                PlacementStrategy::ForceDirected => {
-                    place_force_directed_with_defects(components, &netlist, grid, defects)
-                }
-            }
-            .map_err(AttemptError::Place)?;
+                let seed = cfg.sa.seed.wrapping_add(u64::from(attempt));
+                let (placement, place_h) = ctx
+                    .place(netlist_key, grid, cfg, seed, || match cfg.placement {
+                        PlacementStrategy::SimulatedAnnealing => {
+                            let sa = SaConfig { seed, ..cfg.sa };
+                            place_sa_with_defects(components, &netlist, grid, &sa, defects)
+                        }
+                        PlacementStrategy::Constructive => place_constructive_with_defects(
+                            components,
+                            &netlist,
+                            grid,
+                            SpacingParams::default_routing(),
+                            defects,
+                        ),
+                        PlacementStrategy::ForceDirected => {
+                            place_force_directed_with_defects(components, &netlist, grid, defects)
+                        }
+                    })
+                    .map_err(AttemptError::Place)?;
 
-            let routed = match cfg.routing {
-                RoutingStrategy::ConflictAware => route_dcsa_with_defects(
-                    &schedule,
-                    graph,
-                    &placement,
-                    wash,
-                    &cfg.router,
-                    defects,
-                ),
-                RoutingStrategy::ConstructionByCorrection => route_corrected_with_defects(
-                    &schedule,
-                    graph,
-                    &placement,
-                    wash,
-                    &cfg.router,
-                    defects,
-                ),
+                let (routed, route_key) =
+                    ctx.route(schedule_h, place_h, cfg, || match cfg.routing {
+                        RoutingStrategy::ConflictAware => route_dcsa_with_defects(
+                            &schedule,
+                            graph,
+                            &placement,
+                            wash,
+                            &cfg.router,
+                            defects,
+                        ),
+                        RoutingStrategy::ConstructionByCorrection => route_corrected_with_defects(
+                            &schedule,
+                            graph,
+                            &placement,
+                            wash,
+                            &cfg.router,
+                            defects,
+                        ),
+                    });
+                match routed {
+                    Ok(routing) => Ok((placement, routing, route_key)),
+                    Err(e) => Err(AttemptError::Route(e)),
+                }
             };
-            match routed {
-                Ok(routing) => Ok((placement, routing)),
-                Err(e) => Err(AttemptError::Route(e)),
-            }
-        };
 
         // Attempt 0 runs alone (the common case routes first try); retry
         // batches then fan out across threads. Results are consumed in
@@ -257,7 +365,7 @@ impl Synthesizer {
         // serial loop regardless of `MFB_THREADS`.
         let batch = mfb_model::par::thread_limit().max(1) as u32;
         let mut last_route_err = None;
-        let mut chosen: Option<(u32, Placement, Routing)> = None;
+        let mut chosen: Option<(u32, Placement, Routing, ContentHash)> = None;
         let mut start = 0u32;
         'search: while start < attempts {
             let chunk = if start == 0 {
@@ -270,8 +378,8 @@ impl Synthesizer {
             for (k, res) in results.into_iter().enumerate() {
                 let attempt = start + k as u32;
                 match res {
-                    Ok((placement, routing)) => {
-                        chosen = Some((attempt, placement, routing));
+                    Ok((placement, routing, route_key)) => {
+                        chosen = Some((attempt, placement, routing, route_key));
                         break 'search;
                     }
                     Err(AttemptError::Place(e)) => return Err(e.into()),
@@ -291,7 +399,7 @@ impl Synthesizer {
             start += chunk;
         }
 
-        let Some((attempt, placement, mut routing)) = chosen else {
+        let Some((attempt, placement, mut routing, route_key)) = chosen else {
             let last = match last_route_err {
                 Some(e) => e,
                 None => unreachable!("attempts >= 1 and every iteration records or returns"),
@@ -299,15 +407,18 @@ impl Synthesizer {
             return Err(SynthesisError::Route { last, attempts });
         };
         if cfg.optimize_channels {
-            routing = optimize_channel_length_with_defects(
-                &routing,
-                &schedule,
-                graph,
-                &placement,
-                wash,
-                &cfg.router,
-                defects,
-            );
+            let optimized = ctx.optimize(route_key, || {
+                optimize_channel_length_with_defects(
+                    &routing,
+                    &schedule,
+                    graph,
+                    &placement,
+                    wash,
+                    &cfg.router,
+                    defects,
+                )
+            });
+            routing = optimized;
         }
         Ok(Solution {
             schedule,

@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 
 pub mod analysis;
+pub mod cache;
 pub mod config;
 pub mod error;
 pub mod flow;
@@ -66,6 +67,7 @@ pub mod prelude {
     pub use crate::analysis::{
         area_report, audit_transport_times, AreaReport, TaskAudit, TransportAudit,
     };
+    pub use crate::cache::{CacheStats, StageCache};
     pub use crate::config::{PlacementStrategy, RoutingStrategy, SynthesisConfig};
     pub use crate::error::SynthesisError;
     pub use crate::flow::{Solution, Synthesizer};

@@ -30,6 +30,7 @@
 //! exhausted, the caller still receives the best partial artifacts as a
 //! [`DegradedSolution`].
 
+use crate::cache::{StageCache, StageCtx};
 use crate::config::{PlacementStrategy, RoutingStrategy, SynthesisConfig};
 use crate::error::SynthesisError;
 use crate::flow::{route_error_is_placement_independent, Solution, Synthesizer};
@@ -232,6 +233,34 @@ impl Synthesizer {
         defects: &DefectMap,
         policy: &RecoveryPolicy,
     ) -> ResilientOutcome {
+        // The ladder always climbs through a stage cache: rungs that vary
+        // only one lever (a fresh SA seed, a grown grid) reuse the bound
+        // schedule and netlist of earlier rungs instead of recomputing
+        // them, and validation runs once per distinct schedule.
+        self.synthesize_resilient_cached(
+            graph,
+            components,
+            wash,
+            defects,
+            policy,
+            &StageCache::new(),
+        )
+    }
+
+    /// [`synthesize_resilient`](Synthesizer::synthesize_resilient) through
+    /// a caller-owned [`StageCache`], so batch drivers can share warm stage
+    /// results across ladder runs. The ladder's behavior — which rungs
+    /// climb, the recorded trace, the result — is byte-identical with any
+    /// cache state; only the work skipped differs.
+    pub fn synthesize_resilient_cached(
+        &self,
+        graph: &SequencingGraph,
+        components: &ComponentSet,
+        wash: &dyn WashModel,
+        defects: &DefectMap,
+        policy: &RecoveryPolicy,
+        cache: &StageCache,
+    ) -> ResilientOutcome {
         let cfg = self.config();
         let base_grid = cfg.grid.unwrap_or_else(|| auto_grid(components));
         let grown = |g: u32| -> GridSpec {
@@ -286,6 +315,7 @@ impl Synthesizer {
                         cfg.sa.seed.wrapping_add(u64::from(i)),
                         cfg.t_c,
                         &defects_now,
+                        cache,
                         policy.catch_panics,
                         i + 1,
                     )
@@ -343,6 +373,7 @@ impl Synthesizer {
                     seed,
                     cfg.t_c,
                     &defects_now,
+                    cache,
                     policy.catch_panics,
                     attempt_no,
                 );
@@ -378,6 +409,7 @@ impl Synthesizer {
                     cfg.sa.seed,
                     t_c,
                     &defects_now,
+                    cache,
                     policy.catch_panics,
                     attempt_no,
                 );
@@ -421,6 +453,7 @@ impl Synthesizer {
                     cfg.sa.seed,
                     cfg.t_c,
                     &defects_now,
+                    cache,
                     policy.catch_panics,
                     attempt_no,
                 );
@@ -525,6 +558,7 @@ fn attempt_once(
     seed: u64,
     t_c: Duration,
     defects: &DefectMap,
+    cache: &StageCache,
     catch: bool,
     attempt_no: u32,
 ) -> (Result<Solution, SynthesisError>, Partial) {
@@ -538,6 +572,7 @@ fn attempt_once(
         seed,
         t_c,
         defects,
+        cache,
         catch,
         attempt_no,
         &mut partial,
@@ -556,6 +591,7 @@ fn attempt_inner(
     seed: u64,
     t_c: Duration,
     defects: &DefectMap,
+    cache: &StageCache,
     catch: bool,
     attempt_no: u32,
     partial: &mut Partial,
@@ -564,14 +600,22 @@ fn attempt_inner(
         t_c,
         rule: cfg.binding,
     };
-    let schedule = guard("schedule", catch, || {
-        schedule_with_defects(graph, components, wash, &sched_cfg, defects).map_err(Into::into)
+    // Rebuilt per attempt because the rebind rung mutates the defect map,
+    // which participates in every stage key.
+    let ctx = StageCtx::new(Some(cache), graph, components, wash, defects);
+    let (schedule, schedule_h) = guard("schedule", catch, || {
+        ctx.schedule(&sched_cfg, graph, components, || {
+            schedule_with_defects(graph, components, wash, &sched_cfg, defects)
+        })
+        .map_err(Into::into)
     })?;
     partial.schedule = Some(schedule.clone());
-    let netlist = NetList::build(&schedule, graph, wash, cfg.beta, cfg.gamma);
+    let (netlist, netlist_key) = ctx.netlist(schedule_h, cfg.beta, cfg.gamma, || {
+        NetList::build(&schedule, graph, wash, cfg.beta, cfg.gamma)
+    });
 
-    let placement = guard("place", catch, || {
-        let placed = match cfg.placement {
+    let (placement, place_h) = guard("place", catch, || {
+        ctx.place(netlist_key, grid, cfg, seed, || match cfg.placement {
             PlacementStrategy::SimulatedAnnealing => {
                 let sa = SaConfig { seed, ..cfg.sa };
                 place_sa_with_defects(components, &netlist, grid, &sa, defects)
@@ -586,13 +630,13 @@ fn attempt_inner(
             PlacementStrategy::ForceDirected => {
                 place_force_directed_with_defects(components, &netlist, grid, defects)
             }
-        };
-        placed.map_err(Into::into)
+        })
+        .map_err(Into::into)
     })?;
     partial.placement = Some(placement.clone());
 
     let routing = guard("route", catch, || {
-        let routed = match cfg.routing {
+        let (routed, route_key) = ctx.route(schedule_h, place_h, cfg, || match cfg.routing {
             RoutingStrategy::ConflictAware => {
                 route_dcsa_with_defects(&schedule, graph, &placement, wash, &cfg.router, defects)
             }
@@ -604,21 +648,24 @@ fn attempt_inner(
                 &cfg.router,
                 defects,
             ),
-        };
+        });
         let mut routing = routed.map_err(|e| SynthesisError::Route {
             last: e,
             attempts: attempt_no,
         })?;
         if cfg.optimize_channels {
-            routing = optimize_channel_length_with_defects(
-                &routing,
-                &schedule,
-                graph,
-                &placement,
-                wash,
-                &cfg.router,
-                defects,
-            );
+            let optimized = ctx.optimize(route_key, || {
+                optimize_channel_length_with_defects(
+                    &routing,
+                    &schedule,
+                    graph,
+                    &placement,
+                    wash,
+                    &cfg.router,
+                    defects,
+                )
+            });
+            routing = optimized;
         }
         Ok(routing)
     })?;

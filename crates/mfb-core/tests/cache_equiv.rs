@@ -1,0 +1,163 @@
+//! Stage-cache equivalence golden suite.
+//!
+//! The content-addressed [`StageCache`] promises that caching is purely a
+//! wall-clock optimization: a cached synthesis — cold (populating) or warm
+//! (replaying) — must produce solutions **byte-identical** to the plain
+//! uncached flow, and the recovery ladder must produce an identical trace.
+//! These tests pin that contract, plus the cache-accounting invariants the
+//! batch engine's reports rely on (deterministic hit/miss counters, one
+//! schedule validation per distinct schedule).
+
+use mfb_bench_suite::benchmark_by_name;
+use mfb_core::prelude::*;
+use mfb_model::prelude::*;
+
+fn wash() -> LogLinearWash {
+    LogLinearWash::paper_calibrated()
+}
+
+fn setup(bench: &str) -> (SequencingGraph, ComponentSet) {
+    let b = benchmark_by_name(bench).expect("Table-I benchmark must exist");
+    let comps = b.components(&ComponentLibrary::default());
+    (b.graph, comps)
+}
+
+#[test]
+fn cached_solutions_are_byte_identical_to_uncached() {
+    for bench in ["PCR", "IVD"] {
+        let (graph, comps) = setup(bench);
+        let syn = Synthesizer::paper_dcsa();
+
+        let plain = syn
+            .synthesize(&graph, &comps, &wash())
+            .expect("paper flow must synthesize its own benchmark");
+        let want = serde_json::to_string(&plain).expect("Solution serializes");
+
+        let cache = StageCache::new();
+        let cold = syn
+            .synthesize_cached(&graph, &comps, &wash(), &cache)
+            .expect("cold cached run must synthesize");
+        assert_eq!(
+            serde_json::to_string(&cold).unwrap(),
+            want,
+            "{bench}: cold cached run diverged from uncached"
+        );
+        let miss_stats = cache.stats();
+        assert_eq!(miss_stats.hits(), 0, "{bench}: a cold run cannot hit");
+        assert!(miss_stats.misses() > 0);
+
+        let warm = syn
+            .synthesize_cached(&graph, &comps, &wash(), &cache)
+            .expect("warm cached run must synthesize");
+        assert_eq!(
+            serde_json::to_string(&warm).unwrap(),
+            want,
+            "{bench}: warm cached run diverged from uncached"
+        );
+        let warm_stats = cache.stats() - miss_stats;
+        assert_eq!(
+            warm_stats.misses(),
+            0,
+            "{bench}: a warm replay must not recompute any stage"
+        );
+        assert!(warm_stats.hits() > 0);
+    }
+}
+
+#[test]
+fn schedules_validate_once_per_distinct_schedule() {
+    let (graph, comps) = setup("PCR");
+    let syn = Synthesizer::paper_dcsa();
+    let cache = StageCache::new();
+
+    for _ in 0..3 {
+        syn.synthesize_cached(&graph, &comps, &wash(), &cache)
+            .expect("PCR synthesizes");
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.schedule_misses, 1, "one distinct schedule");
+    assert_eq!(
+        stats.schedule_validations, 1,
+        "a schedule is validated once per hash, not once per request"
+    );
+
+    // A different t_c is a different schedule key: one more validation.
+    let mut cfg = SynthesisConfig::paper_dcsa();
+    cfg.t_c = Duration::from_secs(3);
+    Synthesizer::new(cfg)
+        .synthesize_cached(&graph, &comps, &wash(), &cache)
+        .expect("PCR synthesizes under t_c = 3");
+    let stats = cache.stats();
+    assert_eq!(stats.schedule_misses, 2);
+    assert_eq!(stats.schedule_validations, 2);
+}
+
+#[test]
+fn cached_recovery_ladder_matches_uncached_trace() {
+    let (graph, comps) = setup("IVD");
+    let mut defects = DefectMap::pristine();
+    for x in 0..6 {
+        defects.block_cell(CellPos::new(x, 3));
+    }
+    let syn = Synthesizer::paper_dcsa();
+    let policy = RecoveryPolicy::default();
+
+    let plain = syn.synthesize_resilient(&graph, &comps, &wash(), &defects, &policy);
+    let want = format!("{plain:?}");
+
+    let cache = StageCache::new();
+    let cold = syn.synthesize_resilient_cached(&graph, &comps, &wash(), &defects, &policy, &cache);
+    assert_eq!(
+        format!("{cold:?}"),
+        want,
+        "cold cached recovery diverged from uncached"
+    );
+    let cold_stats = cache.stats();
+
+    let warm = syn.synthesize_resilient_cached(&graph, &comps, &wash(), &defects, &policy, &cache);
+    assert_eq!(
+        format!("{warm:?}"),
+        want,
+        "warm cached recovery diverged from uncached"
+    );
+    let warm_stats = cache.stats() - cold_stats;
+    assert_eq!(
+        warm_stats.schedule_misses, 0,
+        "warm ladder must reuse every schedule"
+    );
+    assert_eq!(
+        warm_stats.schedule_validations, 0,
+        "warm ladder must not re-validate schedules"
+    );
+}
+
+#[test]
+fn defect_maps_address_distinct_cache_entries() {
+    let (graph, comps) = setup("PCR");
+    let syn = Synthesizer::paper_dcsa();
+    let cache = StageCache::new();
+
+    syn.synthesize_cached(&graph, &comps, &wash(), &cache)
+        .expect("pristine PCR synthesizes");
+    let pristine_stats = cache.stats();
+
+    let mut defects = DefectMap::pristine();
+    defects.block_cell(CellPos::new(0, 0));
+    let damaged = syn
+        .synthesize_cached_with_defects(&graph, &comps, &wash(), &defects, &cache)
+        .expect("lightly damaged PCR synthesizes");
+    let delta = cache.stats() - pristine_stats;
+    assert!(
+        delta.misses() > 0,
+        "a different defect map must not be served from pristine entries"
+    );
+
+    let uncached = syn
+        .synthesize_with_defects(&graph, &comps, &wash(), &defects)
+        .expect("uncached damaged PCR synthesizes");
+    assert_eq!(
+        serde_json::to_string(&damaged).unwrap(),
+        serde_json::to_string(&uncached).unwrap(),
+        "damaged-chip cached run diverged from uncached"
+    );
+}

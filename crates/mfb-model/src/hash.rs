@@ -1,0 +1,290 @@
+//! Stable structural content hashing for the stage-result cache.
+//!
+//! The batch-synthesis layer (`mfb-core`'s stage cache and the `mfb-batch`
+//! executor) keys cached schedules, placements and routings by the *content*
+//! of their inputs: two structurally identical assay DAGs must hash equal no
+//! matter how they were built, and any observable difference — an edge, a
+//! duration tick, a defect cell — must change the hash. This module provides
+//! that hash:
+//!
+//! * [`StableHasher`] — FNV-1a 64-bit, byte-order independent of the host,
+//!   with explicit `write_*` methods (floats are hashed by IEEE-754 bit
+//!   pattern, so `-0.0 != 0.0` but every deterministic computation hashes
+//!   deterministically);
+//! * [`ContentHash`] — the resulting 64-bit digest, displayed as 16 hex
+//!   digits;
+//! * [`content_hash`] — hash any `Serialize` type through its canonical
+//!   JSON encoding, the same encoding the golden byte-identity tests
+//!   compare, so "hash equal" and "serializes equal" coincide;
+//! * [`wash_fingerprint`] — a behavioral fingerprint for the non-serializable
+//!   `dyn WashModel`: the model sampled at every diffusion coefficient the
+//!   assay can present plus the paper's canonical anchors.
+//!
+//! Stability scope: hashes are stable across runs, thread counts and
+//! platforms for one build of the workspace. They are **not** a persistent
+//! on-disk format — a change to a type's serde encoding legitimately
+//! invalidates every cache entry keyed on it, which is exactly what a
+//! content-addressed cache wants.
+
+use crate::fluid::DiffusionCoefficient;
+use crate::graph::SequencingGraph;
+use crate::wash::WashModel;
+use serde::Serialize;
+use std::fmt;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A 64-bit stable content digest. See the [module docs](self) for the
+/// stability contract.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, serde::Deserialize,
+)]
+#[serde(transparent)]
+pub struct ContentHash(u64);
+
+impl ContentHash {
+    /// The digest as a raw 64-bit value (cache-map key form).
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a digest from its raw value.
+    #[inline]
+    pub const fn from_u64(raw: u64) -> Self {
+        ContentHash(raw)
+    }
+
+    /// The digest as 16 lowercase hex digits (report / manifest form).
+    pub fn to_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+impl fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// An explicit FNV-1a 64-bit hasher.
+///
+/// Deliberately *not* `std::hash::Hasher`: the standard trait's `write`
+/// calls are allowed to differ between std versions (and `HashMap`'s
+/// `RandomState` is seeded per process), neither of which a content
+/// address can tolerate. Every input goes through a typed `write_*`
+/// method with a fixed little-endian byte encoding.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl StableHasher {
+    /// A fresh hasher at the FNV offset basis.
+    #[inline]
+    pub fn new() -> Self {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    #[inline]
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u32` (little-endian).
+    #[inline]
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `f64` by IEEE-754 bit pattern.
+    #[inline]
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Absorbs a string, length-prefixed so `("ab","c")` and `("a","bc")`
+    /// hash differently.
+    #[inline]
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Absorbs a bool.
+    #[inline]
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_bytes(&[u8::from(v)]);
+    }
+
+    /// Absorbs another digest.
+    #[inline]
+    pub fn write_hash(&mut self, h: ContentHash) {
+        self.write_u64(h.as_u64());
+    }
+
+    /// The final digest.
+    #[inline]
+    pub fn finish(&self) -> ContentHash {
+        ContentHash(self.state)
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+/// Hashes any serializable value through its canonical JSON encoding.
+///
+/// This ties the cache key directly to the representation the golden
+/// byte-identity tests compare: if two values `content_hash` equal they
+/// serialize identically (up to 64-bit collision), and any field change
+/// that shows up in JSON shows up in the key.
+///
+/// # Panics
+///
+/// Panics if the value fails to serialize — every cached stage type in this
+/// workspace serializes infallibly, so a failure is a bug, not an input
+/// condition.
+pub fn content_hash<T: Serialize + ?Sized>(value: &T) -> ContentHash {
+    let json = serde_json::to_string(value).expect("content-hashed types serialize infallibly");
+    let mut h = StableHasher::new();
+    h.write_str(&json);
+    h.finish()
+}
+
+/// Fingerprints a wash model by its observable behavior on `graph`.
+///
+/// `dyn WashModel` cannot be serialized, but the synthesis pipeline only
+/// ever consults it through [`WashModel::wash_time`], and only at the
+/// diffusion coefficients of fluids the assay actually produces. Sampling
+/// the model at every distinct `output_diffusion` in the graph — plus the
+/// paper's three canonical anchors, so models that differ away from this
+/// particular assay still tend to fingerprint apart — captures everything
+/// the pipeline can observe. Two models with equal fingerprints over a
+/// graph are interchangeable *for that graph*, which is exactly the
+/// equivalence a per-run stage cache needs.
+pub fn wash_fingerprint(wash: &dyn WashModel, graph: &SequencingGraph) -> ContentHash {
+    let mut h = StableHasher::new();
+    h.write_str("wash-fingerprint-v1");
+    for anchor in [
+        DiffusionCoefficient::SMALL_MOLECULE,
+        DiffusionCoefficient::PROTEIN,
+        DiffusionCoefficient::VIRUS,
+    ] {
+        h.write_f64(anchor.cm2_per_s());
+        h.write_u64(wash.wash_time(anchor).as_ticks());
+    }
+    // Ops iterate in OpId order, so the sample sequence is stable; repeated
+    // coefficients are harmless (same bytes for the same inputs).
+    for op in graph.ops() {
+        let d = op.output_diffusion();
+        h.write_f64(d.cm2_per_s());
+        h.write_u64(wash.wash_time(d).as_ticks());
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operation::OperationKind;
+    use crate::time::Duration;
+    use crate::wash::{LogLinearWash, TableWash};
+
+    fn graph_with(durations: &[u64]) -> SequencingGraph {
+        let mut b = SequencingGraph::builder();
+        let mut prev = None;
+        for &secs in durations {
+            let op = b.operation(
+                OperationKind::Mix,
+                Duration::from_secs(secs),
+                DiffusionCoefficient::PROTEIN,
+            );
+            if let Some(p) = prev {
+                b.edge(p, op).unwrap();
+            }
+            prev = Some(op);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Published FNV-1a 64 test vectors.
+        let mut h = StableHasher::new();
+        h.write_bytes(b"");
+        assert_eq!(h.finish().as_u64(), 0xcbf2_9ce4_8422_2325);
+        let mut h = StableHasher::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish().as_u64(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = StableHasher::new();
+        h.write_bytes(b"foobar");
+        assert_eq!(h.finish().as_u64(), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn structural_equality_hashes_equal() {
+        // Two separately built but structurally identical graphs.
+        assert_eq!(
+            content_hash(&graph_with(&[5, 4, 3])),
+            content_hash(&graph_with(&[5, 4, 3]))
+        );
+        // Any observable difference changes the hash.
+        assert_ne!(
+            content_hash(&graph_with(&[5, 4, 3])),
+            content_hash(&graph_with(&[5, 4, 2]))
+        );
+    }
+
+    #[test]
+    fn str_hash_is_length_prefixed() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hex_form_is_16_digits() {
+        let h = ContentHash::from_u64(0xabc);
+        assert_eq!(h.to_hex(), "0000000000000abc");
+        assert_eq!(h.to_string(), h.to_hex());
+        assert_eq!(ContentHash::from_u64(h.as_u64()), h);
+    }
+
+    #[test]
+    fn wash_fingerprint_separates_models() {
+        let g = graph_with(&[5, 3]);
+        let a = wash_fingerprint(&LogLinearWash::paper_calibrated(), &g);
+        let b = wash_fingerprint(&LogLinearWash::paper_calibrated(), &g);
+        assert_eq!(a, b, "identical models fingerprint identically");
+        let table = TableWash::new(
+            vec![(DiffusionCoefficient::SMALL_MOLECULE, Duration::from_secs(9))],
+            Duration::from_secs(9),
+        );
+        assert_ne!(
+            a,
+            wash_fingerprint(&table, &g),
+            "behaviorally different models fingerprint apart"
+        );
+    }
+}

@@ -14,7 +14,9 @@
 //! * [`component`] — component kinds, footprints, allocations, the set `C`;
 //! * [`wash`] — wash-time models mapping diffusion coefficients to flush
 //!   durations;
-//! * [`geom`] — the cell grid on which placement and routing operate.
+//! * [`geom`] — the cell grid on which placement and routing operate;
+//! * [`hash`] — stable structural content hashing behind the
+//!   content-addressed stage cache.
 //!
 //! # Quick taste
 //!
@@ -46,6 +48,7 @@ pub mod defect;
 pub mod fluid;
 pub mod geom;
 pub mod graph;
+pub mod hash;
 pub mod ids;
 pub mod operation;
 pub mod par;
@@ -64,6 +67,7 @@ pub mod prelude {
     pub use crate::fluid::DiffusionCoefficient;
     pub use crate::geom::{CellPos, CellRect, GridSpec};
     pub use crate::graph::{GraphError, SequencingGraph, SequencingGraphBuilder};
+    pub use crate::hash::{content_hash, wash_fingerprint, ContentHash, StableHasher};
     pub use crate::ids::{ComponentId, NetId, OpId, TaskId};
     pub use crate::operation::{Operation, OperationKind};
     pub use crate::text::{parse_assay, write_assay, AssayFile, ParseError};
