@@ -213,73 +213,93 @@ pub fn run_batch(jobs: &[BatchJob], cache: &StageCache) -> BatchRun {
         Solve(usize),
     }
 
+    // Pipeline workers inherit the caller's trace subscriber, so one
+    // trace shows per-job prep/solve occupancy across every worker lane.
+    let obs = mfb_obs::current();
     if n > 0 {
         std::thread::scope(|scope| {
+            let state = &state;
+            let records = &records;
+            let idle = &idle;
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let task = {
-                        let mut st = lock(&state);
-                        loop {
-                            if let Some(Reverse(i)) = st.ready.pop() {
-                                break Task::Solve(i);
+                let obs = obs.clone();
+                scope.spawn(move || {
+                    let _obs_guard = obs.as_ref().map(mfb_obs::install);
+                    loop {
+                        let task = {
+                            let mut st = lock(state);
+                            loop {
+                                if let Some(Reverse(i)) = st.ready.pop() {
+                                    break Task::Solve(i);
+                                }
+                                if st.next_prep < n {
+                                    let i = st.next_prep;
+                                    st.next_prep += 1;
+                                    break Task::Prep(i);
+                                }
+                                if st.solved == n {
+                                    return;
+                                }
+                                st = idle.wait(st).unwrap_or_else(PoisonError::into_inner);
                             }
-                            if st.next_prep < n {
-                                let i = st.next_prep;
-                                st.next_prep += 1;
-                                break Task::Prep(i);
-                            }
-                            if st.solved == n {
-                                return;
-                            }
-                            st = idle.wait(st).unwrap_or_else(PoisonError::into_inner);
-                        }
-                    };
-                    match task {
-                        Task::Prep(i) => {
-                            let job = &jobs[i];
-                            let t0 = std::time::Instant::now();
-                            // Errors and panics are deliberately dropped
-                            // here: the solve task replays them through the
-                            // same cache (or recomputes, if a panic left no
-                            // entry) and reports them deterministically.
-                            let _ = catch_unwind(AssertUnwindSafe(|| {
-                                let _ = job.synthesizer().prepare_cached(
-                                    &job.graph,
-                                    &job.components,
-                                    &*job.wash,
-                                    &job.defects,
-                                    cache,
+                        };
+                        match task {
+                            Task::Prep(i) => {
+                                let job = &jobs[i];
+                                let _span = mfb_obs::obs_span!(
+                                    "batch.prep",
+                                    job = i,
+                                    name = job.name.clone()
                                 );
-                            }));
-                            lock(&records[i]).prep_ms = t0.elapsed().as_secs_f64() * 1e3;
-                            let mut st = lock(&state);
-                            st.ready.push(Reverse(i));
-                            drop(st);
-                            idle.notify_all();
-                        }
-                        Task::Solve(i) => {
-                            let job = &jobs[i];
-                            let t0 = std::time::Instant::now();
-                            let result = catch_unwind(AssertUnwindSafe(|| {
-                                job.synthesizer().synthesize_cached_with_defects(
-                                    &job.graph,
-                                    &job.components,
-                                    &*job.wash,
-                                    &job.defects,
-                                    cache,
-                                )
-                            }));
-                            {
-                                let mut r = lock(&records[i]);
-                                r.solve_ms = t0.elapsed().as_secs_f64() * 1e3;
-                                r.result = Some(result);
-                            }
-                            let mut st = lock(&state);
-                            st.solved += 1;
-                            let done = st.solved == n;
-                            drop(st);
-                            if done {
+                                let t0 = std::time::Instant::now();
+                                // Errors and panics are deliberately dropped
+                                // here: the solve task replays them through the
+                                // same cache (or recomputes, if a panic left no
+                                // entry) and reports them deterministically.
+                                let _ = catch_unwind(AssertUnwindSafe(|| {
+                                    let _ = job.synthesizer().prepare_cached(
+                                        &job.graph,
+                                        &job.components,
+                                        &*job.wash,
+                                        &job.defects,
+                                        cache,
+                                    );
+                                }));
+                                lock(&records[i]).prep_ms = t0.elapsed().as_secs_f64() * 1e3;
+                                let mut st = lock(state);
+                                st.ready.push(Reverse(i));
+                                drop(st);
                                 idle.notify_all();
+                            }
+                            Task::Solve(i) => {
+                                let job = &jobs[i];
+                                let _span = mfb_obs::obs_span!(
+                                    "batch.solve",
+                                    job = i,
+                                    name = job.name.clone()
+                                );
+                                let t0 = std::time::Instant::now();
+                                let result = catch_unwind(AssertUnwindSafe(|| {
+                                    job.synthesizer().synthesize_cached_with_defects(
+                                        &job.graph,
+                                        &job.components,
+                                        &*job.wash,
+                                        &job.defects,
+                                        cache,
+                                    )
+                                }));
+                                {
+                                    let mut r = lock(&records[i]);
+                                    r.solve_ms = t0.elapsed().as_secs_f64() * 1e3;
+                                    r.result = Some(result);
+                                }
+                                let mut st = lock(state);
+                                st.solved += 1;
+                                let done = st.solved == n;
+                                drop(st);
+                                if done {
+                                    idle.notify_all();
+                                }
                             }
                         }
                     }

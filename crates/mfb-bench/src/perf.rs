@@ -16,6 +16,7 @@
 use std::time::Instant as WallClock; // the model prelude has its own Instant
 
 use mfb_bench_suite::table1_benchmarks;
+use mfb_core::flow::Synthesizer;
 use mfb_model::prelude::*;
 use mfb_place::prelude::*;
 use mfb_place::reference::place_sa_reference;
@@ -92,6 +93,13 @@ pub struct PerfReport {
     pub headline: PerfHeadline,
     /// One row per Table-I benchmark.
     pub rows: Vec<PerfRow>,
+    /// Per-stage span timings from one traced end-to-end synthesis of the
+    /// flagship benchmark (the `mfb-obs` observability axis). Empty when
+    /// the `obs-trace` feature is compiled out.
+    pub stage_trace: Vec<mfb_obs::StageSummary>,
+    /// Counter totals (SA proposals, A* expansions, window retries, ...)
+    /// from the same traced run.
+    pub trace_counters: Vec<mfb_obs::CounterTotal>,
     /// The batch-throughput axis: assays/sec cold vs warm cache
     /// (see [`crate::throughput`]).
     pub batch: crate::throughput::ThroughputReport,
@@ -270,13 +278,42 @@ pub fn perf_report(repeats: u32) -> PerfReport {
         route_speedup: flagship.route_speedup,
     };
 
+    let (stage_trace, trace_counters) = traced_flagship(&headline.benchmark);
+
     PerfReport {
         repeats,
         threads: mfb_model::par::thread_limit().max(1),
         headline,
         rows,
+        stage_trace,
+        trace_counters,
         batch: crate::throughput::throughput_report(repeats),
     }
+}
+
+/// Runs one end-to-end DCSA synthesis of `benchmark` with an `mfb-obs`
+/// collector installed and aggregates the trace into per-stage timings and
+/// counter totals. This is the only traced measurement in the report — the
+/// kernel rows above run with tracing runtime-disabled, so they double as
+/// the "disabled tracing costs one branch" perf gate.
+fn traced_flagship(benchmark: &str) -> (Vec<mfb_obs::StageSummary>, Vec<mfb_obs::CounterTotal>) {
+    let lib = ComponentLibrary::default();
+    let wash = LogLinearWash::paper_calibrated();
+    let benchmarks = table1_benchmarks();
+    let Some(b) = benchmarks.iter().find(|b| b.name == benchmark) else {
+        return (Vec::new(), Vec::new());
+    };
+    let comps = b.components(&lib);
+    let collector = mfb_obs::TraceCollector::new();
+    {
+        let _guard = mfb_obs::install(&collector);
+        let _ = Synthesizer::paper_dcsa().synthesize(&b.graph, &comps, &wash);
+    }
+    let trace = collector.finish();
+    (
+        mfb_obs::stage_summaries(&trace.events),
+        mfb_obs::counter_totals(&trace.events),
+    )
 }
 
 /// Plain-text rendering of a [`PerfReport`] for terminal use.
@@ -343,6 +380,19 @@ pub fn perf_text(report: &PerfReport) -> String {
             "  WARM OUTPUT DIVERGED"
         }
     );
+    if !report.stage_trace.is_empty() {
+        let _ = writeln!(out, "traced flagship ({}):", report.headline.benchmark);
+        for s in &report.stage_trace {
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>5} spans  total {:>9.3} ms  max {:>9.3} ms",
+                s.name, s.count, s.total_ms, s.max_ms
+            );
+        }
+        for c in &report.trace_counters {
+            let _ = writeln!(out, "  {:<18} {:>12}", c.name, c.total);
+        }
+    }
     out
 }
 
@@ -366,6 +416,18 @@ mod tests {
         assert_eq!(r.batch.warm_cache.misses(), 0);
         assert!(r.batch.warm_speedup > 1.0);
         assert!(r.threads >= 1);
+        if cfg!(feature = "obs-trace") {
+            let names: Vec<&str> = r.stage_trace.iter().map(|s| s.name.as_str()).collect();
+            assert!(names.contains(&"flow.synthesize"), "{names:?}");
+            assert!(names.contains(&"stage.place"), "{names:?}");
+            assert!(names.contains(&"stage.route"), "{names:?}");
+            assert!(
+                r.trace_counters.iter().any(|c| c.name == "sa.proposals"),
+                "traced run records SA counters"
+            );
+        } else {
+            assert!(r.stage_trace.is_empty());
+        }
         assert!(!perf_text(&r).is_empty());
     }
 }

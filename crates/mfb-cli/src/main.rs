@@ -24,10 +24,36 @@ use mfb_viz::prelude::*;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = args.first().map(String::as_str).unwrap_or("help");
-    let rest = &args[1.min(args.len())..];
-    let result = match cmd {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--trace <file>` is accepted by every command as shorthand for
+    // `mfb trace --out <file> <command>`: strip it before dispatch.
+    let mut trace_out: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--trace") {
+        if pos + 1 >= args.len() {
+            eprintln!("error: --trace needs an output file");
+            return ExitCode::FAILURE;
+        }
+        trace_out = Some(args.remove(pos + 1));
+        args.remove(pos);
+    }
+    let cmd = args.first().cloned().unwrap_or_else(|| "help".to_string());
+    let rest: Vec<String> = args[1.min(args.len())..].to_vec();
+    let result = match trace_out {
+        Some(path) => run_traced(&path, None, &cmd, &rest),
+        None => dispatch(&cmd, &rest),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Routes one parsed command line to its implementation.
+fn dispatch(cmd: &str, rest: &[String]) -> Result<ExitCode, String> {
+    match cmd {
         "list" => cmd_list().map(ok),
         "table1" => cmd_table1().map(ok),
         "fig8" => cmd_fig(8).map(ok),
@@ -42,20 +68,108 @@ fn main() -> ExitCode {
         "faults" => cmd_faults(rest).map(ok),
         "bench" => cmd_bench(rest).map(ok),
         "batch" => cmd_batch(rest),
+        "trace" => cmd_trace(rest),
         "ablation" => cmd_ablation().map(ok),
         "help" | "--help" | "-h" => {
             print!("{}", HELP);
             Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command `{other}`; try `mfb help`")),
-    };
-    match result {
-        Ok(code) => code,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
+    }
+}
+
+/// `mfb trace [--out FILE] [--format jsonl|chrome] <command> [args...]`:
+/// runs any command with a trace collector installed, then writes the
+/// schema-checked trace and prints a per-stage summary to stderr.
+fn cmd_trace(rest: &[String]) -> Result<ExitCode, String> {
+    let mut out: Option<String> = None;
+    let mut format: Option<String> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--out" => {
+                out = Some(trace_flag_value(rest, i, "--out")?);
+                i += 2;
+            }
+            "--format" => {
+                let f = trace_flag_value(rest, i, "--format")?;
+                if f != "jsonl" && f != "chrome" {
+                    return Err(format!("--format must be jsonl or chrome, got `{f}`"));
+                }
+                format = Some(f);
+                i += 2;
+            }
+            _ => break,
         }
     }
+    let Some(cmd) = rest.get(i) else {
+        return Err(
+            "usage: mfb trace [--out FILE] [--format jsonl|chrome] <command> [args...]".to_string(),
+        );
+    };
+    let out = out.unwrap_or_else(|| "trace.json".to_string());
+    run_traced(&out, format.as_deref(), cmd, &rest[i + 1..])
+}
+
+fn trace_flag_value(rest: &[String], i: usize, flag: &str) -> Result<String, String> {
+    rest.get(i + 1)
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+/// Dispatches `cmd` with tracing installed and exports the trace to
+/// `path`. `format` defaults by extension: `.jsonl` means JSON Lines,
+/// anything else Chrome trace-event JSON (for chrome://tracing/Perfetto).
+fn run_traced(
+    path: &str,
+    format: Option<&str>,
+    cmd: &str,
+    rest: &[String],
+) -> Result<ExitCode, String> {
+    let collector = mfb_obs::TraceCollector::new();
+    let code = {
+        let _guard = mfb_obs::install(&collector);
+        dispatch(cmd, rest)?
+    };
+    let trace = collector.finish();
+    if trace.open_spans != 0 {
+        return Err(format!("{} spans never closed", trace.open_spans));
+    }
+    let jsonl = match format {
+        Some(f) => f == "jsonl",
+        None => path.ends_with(".jsonl"),
+    };
+    let text = if jsonl {
+        let text = mfb_obs::export::to_jsonl(&trace.events);
+        mfb_obs::export::check_jsonl(&text)
+            .map_err(|e| format!("trace failed schema check: {e}"))?;
+        text
+    } else {
+        let text = mfb_obs::export::to_chrome(&trace.events);
+        mfb_obs::export::check_chrome(&text)
+            .map_err(|e| format!("trace failed schema check: {e}"))?;
+        text
+    };
+    std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+
+    eprintln!(
+        "trace: {} events ({} spans, {} counters, {} instants) in {:.1} ms -> {path}",
+        trace.events.len(),
+        trace.of_kind(mfb_obs::EventKind::Span).count(),
+        trace.of_kind(mfb_obs::EventKind::Counter).count(),
+        trace.of_kind(mfb_obs::EventKind::Instant).count(),
+        trace.wall_ns as f64 / 1e6,
+    );
+    for s in mfb_obs::stage_summaries(&trace.events) {
+        eprintln!(
+            "trace: {:<18} {:>5} spans  total {:>9.3} ms  max {:>9.3} ms",
+            s.name, s.count, s.total_ms, s.max_ms
+        );
+    }
+    for c in mfb_obs::counter_totals(&trace.events) {
+        eprintln!("trace: {:<18} {:>12}", c.name, c.total);
+    }
+    Ok(code)
 }
 
 /// Adapter for commands whose success always exits 0.
@@ -131,6 +245,16 @@ USAGE:
                                    untimed pass before the timed batch
         --json                     emit the report as JSON
         --out <file>               write the report to a file
+    mfb trace <command> [args...]  run any command with structured
+                                   tracing on: per-stage spans, SA/A*
+                                   counters, cache hit/miss and recovery
+                                   rung events; prints a stage summary
+                                   to stderr
+        --out <file>               trace file (default: trace.json)
+        --format jsonl|chrome      export format (default: by extension,
+                                   .jsonl = JSON Lines, else Chrome
+                                   trace-event JSON for chrome://tracing)
+    (any command) --trace <file>   shorthand for `mfb trace --out <file>`
     mfb ablation                   binding/weight ablation study
 ";
 

@@ -232,12 +232,16 @@ impl StageCache {
     /// computation.
     fn get_or_compute<T: Clone>(
         &self,
+        stage: &'static str,
         map: fn(&mut CacheState) -> &mut HashMap<u64, Slot<T>>,
         count: fn(&mut CacheStats, bool),
         key: ContentHash,
         compute: impl FnOnce() -> T,
     ) -> T {
         let k = key.as_u64();
+        // Dedup attribution: true when this requester blocked on another
+        // thread's in-flight computation of the same key.
+        let mut waited = false;
         {
             let mut st = self.lock();
             loop {
@@ -245,9 +249,12 @@ impl StageCache {
                     Some(Slot::Ready(v)) => {
                         let v = v.clone();
                         count(&mut st.stats, true);
+                        drop(st);
+                        emit_cache_event(stage, "hit", waited);
                         return v;
                     }
                     Some(Slot::InFlight) => {
+                        waited = true;
                         st = self.ready.wait(st).unwrap_or_else(PoisonError::into_inner);
                     }
                     None => {
@@ -258,6 +265,7 @@ impl StageCache {
                 }
             }
         }
+        emit_cache_event(stage, "miss", waited);
 
         // The in-flight marker is ours now; it must not survive a panic in
         // `compute`, or every waiter on this key would block forever.
@@ -305,7 +313,19 @@ impl StageCache {
             }
             st.stats.schedule_validations += 1;
         }
+        mfb_obs::obs_instant!("cache.schedule.validate");
         run();
+    }
+}
+
+/// Emits one `cache.<stage>.<hit|miss>` instant; `dedup_wait` marks
+/// requests that blocked on another thread computing the same key.
+fn emit_cache_event(stage: &'static str, outcome: &str, waited: bool) {
+    if mfb_obs::enabled() {
+        mfb_obs::instant(
+            &format!("cache.{stage}.{outcome}"),
+            vec![mfb_obs::Field::new("dedup_wait", waited)],
+        );
     }
 }
 
@@ -498,6 +518,7 @@ impl<'a> StageCtx<'a> {
             return compute().map(|s| (s, ContentHash::from_u64(0)));
         };
         let entry = cache.get_or_compute(
+            "schedule",
             |s| &mut s.schedules,
             count_schedule,
             keys.schedule_key(sched_cfg),
@@ -534,6 +555,7 @@ impl<'a> StageCtx<'a> {
         };
         let key = keys.netlist_key(schedule_h, beta, gamma);
         let netlist = cache.get_or_compute(
+            "netlist",
             |s| &mut s.netlists,
             count_netlist,
             key,
@@ -556,6 +578,7 @@ impl<'a> StageCtx<'a> {
             return compute().map(|p| (p, ContentHash::from_u64(0)));
         };
         let entry = cache.get_or_compute(
+            "placement",
             |s| &mut s.places,
             count_place,
             keys.place_key(netlist_key, grid, cfg, seed),
@@ -584,6 +607,7 @@ impl<'a> StageCtx<'a> {
         };
         let key = keys.route_key(schedule_h, place_h, cfg);
         let entry = cache.get_or_compute(
+            "routing",
             |s| &mut s.routes,
             count_route,
             key,
@@ -602,6 +626,7 @@ impl<'a> StageCtx<'a> {
             return compute();
         };
         let routing = cache.get_or_compute(
+            "optimize",
             |s| &mut s.optimized,
             count_optimize,
             keys.optimize_key(route_key),
@@ -640,8 +665,8 @@ mod tests {
                 kind: ComponentKind::Mixer,
             })
         };
-        let a = cache.get_or_compute(schedules, count_schedule, key, compute);
-        let b = cache.get_or_compute(schedules, count_schedule, key, || {
+        let a = cache.get_or_compute("schedule", schedules, count_schedule, key, compute);
+        let b = cache.get_or_compute("schedule", schedules, count_schedule, key, || {
             unreachable!("hit must not recompute")
         });
         assert_eq!(calls.load(Ordering::SeqCst), 1);
@@ -655,11 +680,13 @@ mod tests {
         let cache = StageCache::new();
         let key = ContentHash::from_u64(7);
         let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _ = cache.get_or_compute(schedules, count_schedule, key, || panic!("stage bug"));
+            let _ = cache.get_or_compute("schedule", schedules, count_schedule, key, || {
+                panic!("stage bug")
+            });
         }));
         assert!(boom.is_err());
         // The key must be computable again, not deadlocked in flight.
-        let v = cache.get_or_compute(schedules, count_schedule, key, || {
+        let v = cache.get_or_compute("schedule", schedules, count_schedule, key, || {
             Err(SchedError::NoComponentForKind {
                 op: OpId::new(1),
                 kind: ComponentKind::Heater,

@@ -278,18 +278,30 @@ impl Synthesizer {
         defects: &DefectMap,
         cache: Option<&StageCache>,
     ) -> Result<Solution, SynthesisError> {
+        let _flow_span = mfb_obs::obs_span!(
+            "flow.synthesize",
+            ops = graph.ops().count() as u64,
+            components = components.len() as u64,
+            cached = cache.is_some(),
+        );
         let cfg = &self.config;
         let sched_cfg = SchedulerConfig {
             t_c: cfg.t_c,
             rule: cfg.binding,
         };
         let ctx = StageCtx::new(cache, graph, components, wash, defects);
-        let (schedule, schedule_h) = ctx.schedule(&sched_cfg, graph, components, || {
-            schedule_with_defects(graph, components, wash, &sched_cfg, defects)
-        })?;
-        let (netlist, netlist_key) = ctx.netlist(schedule_h, cfg.beta, cfg.gamma, || {
-            NetList::build(&schedule, graph, wash, cfg.beta, cfg.gamma)
-        });
+        let (schedule, schedule_h) = {
+            let _span = mfb_obs::obs_span!("stage.schedule");
+            ctx.schedule(&sched_cfg, graph, components, || {
+                schedule_with_defects(graph, components, wash, &sched_cfg, defects)
+            })?
+        };
+        let (netlist, netlist_key) = {
+            let _span = mfb_obs::obs_span!("stage.netlist");
+            ctx.netlist(schedule_h, cfg.beta, cfg.gamma, || {
+                NetList::build(&schedule, graph, wash, cfg.beta, cfg.gamma)
+            })
+        };
 
         let base_grid = cfg.grid.unwrap_or_else(|| auto_grid(components));
         let attempts = cfg.max_placement_attempts.max(1);
@@ -314,8 +326,9 @@ impl Synthesizer {
                 );
 
                 let seed = cfg.sa.seed.wrapping_add(u64::from(attempt));
-                let (placement, place_h) = ctx
-                    .place(netlist_key, grid, cfg, seed, || match cfg.placement {
+                let (placement, place_h) = {
+                    let _span = mfb_obs::obs_span!("stage.place", attempt = attempt, seed = seed);
+                    ctx.place(netlist_key, grid, cfg, seed, || match cfg.placement {
                         PlacementStrategy::SimulatedAnnealing => {
                             let sa = SaConfig { seed, ..cfg.sa };
                             place_sa_with_defects(components, &netlist, grid, &sa, defects)
@@ -331,8 +344,10 @@ impl Synthesizer {
                             place_force_directed_with_defects(components, &netlist, grid, defects)
                         }
                     })
-                    .map_err(AttemptError::Place)?;
+                    .map_err(AttemptError::Place)?
+                };
 
+                let _route_span = mfb_obs::obs_span!("stage.route", attempt = attempt);
                 let (routed, route_key) =
                     ctx.route(schedule_h, place_h, cfg, || match cfg.routing {
                         RoutingStrategy::ConflictAware => route_dcsa_with_defects(
@@ -407,6 +422,7 @@ impl Synthesizer {
             return Err(SynthesisError::Route { last, attempts });
         };
         if cfg.optimize_channels {
+            let _span = mfb_obs::obs_span!("stage.optimize");
             let optimized = ctx.optimize(route_key, || {
                 optimize_channel_length_with_defects(
                     &routing,

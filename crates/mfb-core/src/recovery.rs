@@ -261,6 +261,11 @@ impl Synthesizer {
         policy: &RecoveryPolicy,
         cache: &StageCache,
     ) -> ResilientOutcome {
+        let _span = mfb_obs::obs_span!(
+            "flow.resilient",
+            ops = graph.ops().count() as u64,
+            components = components.len() as u64,
+        );
         let cfg = self.config();
         let base_grid = cfg.grid.unwrap_or_else(|| auto_grid(components));
         let grown = |g: u32| -> GridSpec {
@@ -326,17 +331,20 @@ impl Synthesizer {
                     let seed = cfg.sa.seed.wrapping_add(u64::from(i));
                     partial.absorb(artifacts);
                     match res {
-                        Ok(s) => return success(s, trace),
+                        Ok(s) => return success(s, trace, Rung::Reseed, attempt_no),
                         Err(e) => {
-                            trace.attempts.push(RungAttempt {
-                                rung: Rung::Reseed,
-                                attempt: attempt_no,
-                                detail: format!(
-                                    "seed {seed} on {}x{} grid",
-                                    base_grid.width, base_grid.height
-                                ),
-                                error: e.to_string(),
-                            });
+                            record_attempt(
+                                &mut trace,
+                                RungAttempt {
+                                    rung: Rung::Reseed,
+                                    attempt: attempt_no,
+                                    detail: format!(
+                                        "seed {seed} on {}x{} grid",
+                                        base_grid.width, base_grid.height
+                                    ),
+                                    error: e.to_string(),
+                                },
+                            );
                             let deterministic = e.is_deterministic();
                             let fatal = globally_fatal(&e);
                             last_err = Some(e);
@@ -379,14 +387,17 @@ impl Synthesizer {
                 );
                 partial.absorb(artifacts);
                 match res {
-                    Ok(s) => return success(s, trace),
+                    Ok(s) => return success(s, trace, Rung::GrowGrid, attempt_no),
                     Err(e) => {
-                        trace.attempts.push(RungAttempt {
-                            rung: Rung::GrowGrid,
-                            attempt: attempt_no,
-                            detail: format!("grown to {}x{} grid", grid.width, grid.height),
-                            error: e.to_string(),
-                        });
+                        record_attempt(
+                            &mut trace,
+                            RungAttempt {
+                                rung: Rung::GrowGrid,
+                                attempt: attempt_no,
+                                detail: format!("grown to {}x{} grid", grid.width, grid.height),
+                                error: e.to_string(),
+                            },
+                        );
                         let fatal = globally_fatal(&e);
                         last_err = Some(e);
                         if fatal {
@@ -415,14 +426,17 @@ impl Synthesizer {
                 );
                 partial.absorb(artifacts);
                 match res {
-                    Ok(s) => return success(s, trace),
+                    Ok(s) => return success(s, trace, Rung::RelaxTc, attempt_no),
                     Err(e) => {
-                        trace.attempts.push(RungAttempt {
-                            rung: Rung::RelaxTc,
-                            attempt: attempt_no,
-                            detail: format!("t_c relaxed to {t_c}"),
-                            error: e.to_string(),
-                        });
+                        record_attempt(
+                            &mut trace,
+                            RungAttempt {
+                                rung: Rung::RelaxTc,
+                                attempt: attempt_no,
+                                detail: format!("t_c relaxed to {t_c}"),
+                                error: e.to_string(),
+                            },
+                        );
                         let fatal = globally_fatal(&e);
                         last_err = Some(e);
                         if fatal {
@@ -459,14 +473,17 @@ impl Synthesizer {
                 );
                 partial.absorb(artifacts);
                 match res {
-                    Ok(s) => return success(s, trace),
+                    Ok(s) => return success(s, trace, Rung::Rebind, attempt_no),
                     Err(e) => {
-                        trace.attempts.push(RungAttempt {
-                            rung: Rung::Rebind,
-                            attempt: attempt_no,
-                            detail: format!("component {victim} marked dead, rebound"),
-                            error: e.to_string(),
-                        });
+                        record_attempt(
+                            &mut trace,
+                            RungAttempt {
+                                rung: Rung::Rebind,
+                                attempt: attempt_no,
+                                detail: format!("component {victim} marked dead, rebound"),
+                                error: e.to_string(),
+                            },
+                        );
                         let fatal = globally_fatal(&e);
                         last_err = Some(e);
                         if fatal {
@@ -492,12 +509,31 @@ impl Synthesizer {
     }
 }
 
-fn success(solution: Solution, trace: RecoveryTrace) -> ResilientOutcome {
+fn success(solution: Solution, trace: RecoveryTrace, rung: Rung, attempt: u32) -> ResilientOutcome {
+    mfb_obs::obs_instant!(
+        "recovery.rung",
+        rung = rung.to_string(),
+        attempt = attempt,
+        outcome = "recovered",
+    );
     ResilientOutcome {
         result: Ok(solution),
         trace,
         degraded: None,
     }
+}
+
+/// Records one failed rung attempt in the trace and mirrors it as a
+/// `recovery.rung` instant event.
+fn record_attempt(trace: &mut RecoveryTrace, attempt: RungAttempt) {
+    mfb_obs::obs_instant!(
+        "recovery.rung",
+        rung = attempt.rung.to_string(),
+        attempt = attempt.attempt,
+        outcome = "failed",
+        error = attempt.error.clone(),
+    );
+    trace.attempts.push(attempt);
 }
 
 /// True when no rung of the ladder can change the outcome: the error is an

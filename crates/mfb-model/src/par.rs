@@ -53,22 +53,30 @@ where
     }
 
     let next = AtomicUsize::new(0);
+    // Workers inherit the spawning thread's trace subscriber so a single
+    // trace covers the whole parallel region.
+    let obs = mfb_obs::current();
     let mut gathered: Vec<Vec<(usize, thread::Result<R>)>> = thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= len {
-                            break;
-                        }
-                        local.push((i, catch_unwind(AssertUnwindSafe(|| f(i)))));
+        let next = &next;
+        let f = &f;
+        // Spawn every worker before joining any (a lazy iterator here
+        // would serialize the pool).
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let obs = obs.clone();
+            handles.push(scope.spawn(move || {
+                let _obs_guard = obs.as_ref().map(mfb_obs::install);
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
                     }
-                    local
-                })
-            })
-            .collect();
+                    local.push((i, catch_unwind(AssertUnwindSafe(|| f(i)))));
+                }
+                local
+            }));
+        }
         handles
             .into_iter()
             .map(|h| h.join().expect("mfb worker thread must not die outside f"))

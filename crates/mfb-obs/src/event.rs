@@ -1,0 +1,198 @@
+//! The trace event data model.
+//!
+//! Events are flat records rather than a nested span tree: each completed
+//! span is emitted as a single record carrying its start time and duration,
+//! which keeps the model serializable through the vendored serde stand-in
+//! and makes JSONL export a line-per-event affair. Ordering is recovered by
+//! sorting on `(t_ns, seq)`; `seq` is a collector-global allocation counter,
+//! so the sort is total and deterministic for a given interleaving.
+
+use serde::{Deserialize, Serialize};
+
+/// What a [`TraceEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A closed duration: `t_ns` is the start, `dur_ns` the length.
+    Span,
+    /// A monotone metric increment: `value` carries the delta. Totals for a
+    /// name are the sum of all its counter events in a trace.
+    Counter,
+    /// A zero-duration point event (e.g. a cache hit or a recovery rung).
+    Instant,
+}
+
+/// A dynamically typed value attached to an event via a [`Field`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point. Schema checks reject non-finite values.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<i32> for FieldValue {
+    fn from(v: i32) -> Self {
+        FieldValue::I64(i64::from(v))
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// A key/value annotation on an event (stage, assay, seed, attempt, ...).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Field {
+    /// Field name.
+    pub key: String,
+    /// Field value.
+    pub value: FieldValue,
+}
+
+impl Field {
+    /// Builds a field from anything convertible into a [`FieldValue`].
+    pub fn new(key: impl Into<String>, value: impl Into<FieldValue>) -> Field {
+        Field {
+            key: key.into(),
+            value: value.into(),
+        }
+    }
+}
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Collector-global allocation order; tie-breaker for equal timestamps.
+    pub seq: u64,
+    /// Small dense id of the emitting thread (1-based, process-global).
+    pub tid: u64,
+    /// Record kind.
+    pub kind: EventKind,
+    /// Event name, e.g. `stage.place` or `cache.routing.hit`.
+    pub name: String,
+    /// Nanoseconds since the collector's epoch (span start for spans).
+    pub t_ns: u64,
+    /// Span length in nanoseconds; zero for counters and instants.
+    pub dur_ns: u64,
+    /// Counter delta; zero for spans and instants.
+    pub value: u64,
+    /// Structured annotations.
+    pub fields: Vec<Field>,
+}
+
+impl TraceEvent {
+    /// Looks up a field value by key.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|f| f.key == key).map(|f| &f.value)
+    }
+
+    /// Looks up a string field by key.
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        match self.field(key) {
+            Some(FieldValue::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up an unsigned integer field by key.
+    pub fn u64_field(&self, key: &str) -> Option<u64> {
+        match self.field(key) {
+            Some(FieldValue::U64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// A finished trace: the sorted event log plus collector-level telemetry
+/// used by the well-formedness checks.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Events sorted by `(t_ns, seq)`.
+    pub events: Vec<TraceEvent>,
+    /// Spans still open when the trace was finished. A well-formed trace
+    /// has zero: every span guard was dropped before `finish`.
+    pub open_spans: u64,
+    /// Wall-clock nanoseconds from collector creation to `finish`.
+    pub wall_ns: u64,
+}
+
+impl Trace {
+    /// Events of one kind.
+    pub fn of_kind(&self, kind: EventKind) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Sum of `value` over all counter events with this name.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.kind == EventKind::Counter && e.name == name)
+            .map(|e| e.value)
+            .sum()
+    }
+
+    /// Number of instant events with this name.
+    pub fn instant_count(&self, name: &str) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.kind == EventKind::Instant && e.name == name)
+            .count() as u64
+    }
+
+    /// Spans with this name.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events
+            .iter()
+            .filter(move |e| e.kind == EventKind::Span && e.name == name)
+    }
+}

@@ -1,0 +1,172 @@
+//! Trace export: JSON Lines and Chrome trace-event format, each paired
+//! with a minimal schema check so CI can validate artifacts without a
+//! trace viewer.
+
+use crate::event::{EventKind, FieldValue, TraceEvent};
+use serde::Content;
+
+/// Serializes events as JSON Lines: one `TraceEvent` object per line.
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&serde_json::to_string(e).expect("trace events always serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses JSON Lines back into events. Blank lines are skipped.
+pub fn from_jsonl(s: &str) -> Result<Vec<TraceEvent>, serde::Error> {
+    s.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(serde_json::from_str)
+        .collect()
+}
+
+/// Structural well-formedness check shared by both export formats:
+/// non-empty names, monotone non-decreasing timestamps, kind-appropriate
+/// duration/value usage, and finite float fields. Returns the event count.
+pub fn check_events(events: &[TraceEvent]) -> Result<usize, String> {
+    let mut last_t = 0u64;
+    for e in events {
+        if e.name.is_empty() {
+            return Err(format!("event seq {} has an empty name", e.seq));
+        }
+        if e.t_ns < last_t {
+            return Err(format!(
+                "timestamps not monotone: seq {} at {} ns after {} ns",
+                e.seq, e.t_ns, last_t
+            ));
+        }
+        last_t = e.t_ns;
+        if e.kind != EventKind::Span && e.dur_ns != 0 {
+            return Err(format!("non-span event seq {} carries a duration", e.seq));
+        }
+        if e.kind != EventKind::Counter && e.value != 0 {
+            return Err(format!("non-counter event seq {} carries a value", e.seq));
+        }
+        for f in &e.fields {
+            if let FieldValue::F64(v) = f.value {
+                if !v.is_finite() {
+                    return Err(format!(
+                        "event seq {} field `{}` is not finite",
+                        e.seq, f.key
+                    ));
+                }
+            }
+        }
+    }
+    Ok(events.len())
+}
+
+/// Parses and schema-checks a JSONL trace. Returns the event count.
+pub fn check_jsonl(s: &str) -> Result<usize, String> {
+    let events = from_jsonl(s).map_err(|e| e.to_string())?;
+    check_events(&events)
+}
+
+fn field_content(v: &FieldValue) -> Content {
+    match v {
+        FieldValue::U64(x) => Content::U64(*x),
+        FieldValue::I64(x) => Content::I64(*x),
+        FieldValue::F64(x) => Content::F64(*x),
+        FieldValue::Str(x) => Content::Str(x.clone()),
+        FieldValue::Bool(x) => Content::Bool(*x),
+    }
+}
+
+/// Serializes events in Chrome trace-event format (the JSON-array flavor):
+/// spans become complete `"X"` events, counters `"C"`, instants `"i"`.
+/// Load the result in `chrome://tracing` or Perfetto.
+pub fn to_chrome(events: &[TraceEvent]) -> String {
+    let items: Vec<Content> = events
+        .iter()
+        .map(|e| {
+            let ph = match e.kind {
+                EventKind::Span => "X",
+                EventKind::Counter => "C",
+                EventKind::Instant => "i",
+            };
+            let mut args: Vec<(String, Content)> = e
+                .fields
+                .iter()
+                .map(|f| (f.key.clone(), field_content(&f.value)))
+                .collect();
+            if e.kind == EventKind::Counter {
+                args.push(("value".to_string(), Content::U64(e.value)));
+            }
+            let mut obj = vec![
+                ("name", Content::Str(e.name.clone())),
+                ("ph", Content::Str(ph.to_string())),
+                ("ts", Content::F64(e.t_ns as f64 / 1000.0)),
+                ("pid", Content::U64(1)),
+                ("tid", Content::U64(e.tid)),
+            ];
+            if e.kind == EventKind::Span {
+                obj.push(("dur", Content::F64(e.dur_ns as f64 / 1000.0)));
+            }
+            if e.kind == EventKind::Instant {
+                obj.push(("s", Content::Str("t".to_string())));
+            }
+            obj.push(("args", Content::Map(args)));
+            Content::object(obj)
+        })
+        .collect();
+    serde_json::to_string(&Content::Seq(items)).expect("chrome trace always serializes")
+}
+
+/// Minimal Chrome trace-event schema check: a JSON array whose entries have
+/// a non-empty `name`, a known `ph`, finite non-negative `ts` (monotone in
+/// file order, matching our sorted export), `pid`/`tid`, and — for complete
+/// events — a finite non-negative `dur`. Returns the event count.
+pub fn check_chrome(s: &str) -> Result<usize, String> {
+    let root: Content = serde_json::from_str(s).map_err(|e| e.to_string())?;
+    let items = root.as_array().ok_or("chrome trace is not a JSON array")?;
+    let mut last_ts = f64::NEG_INFINITY;
+    for (i, item) in items.iter().enumerate() {
+        let name = item
+            .get("name")
+            .and_then(Content::as_str)
+            .ok_or_else(|| format!("entry {i}: missing name"))?;
+        if name.is_empty() {
+            return Err(format!("entry {i}: empty name"));
+        }
+        let ph = item
+            .get("ph")
+            .and_then(Content::as_str)
+            .ok_or_else(|| format!("entry {i}: missing ph"))?;
+        if !matches!(ph, "X" | "C" | "i") {
+            return Err(format!("entry {i}: unknown ph `{ph}`"));
+        }
+        let ts = item
+            .get("ts")
+            .and_then(Content::as_f64)
+            .ok_or_else(|| format!("entry {i}: missing ts"))?;
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(format!(
+                "entry {i}: ts {ts} is not a finite non-negative time"
+            ));
+        }
+        if ts < last_ts {
+            return Err(format!("entry {i}: ts {ts} precedes {last_ts}"));
+        }
+        last_ts = ts;
+        for key in ["pid", "tid"] {
+            if item.get(key).and_then(Content::as_u64).is_none() {
+                return Err(format!("entry {i}: missing {key}"));
+            }
+        }
+        if ph == "X" {
+            let dur = item
+                .get("dur")
+                .and_then(Content::as_f64)
+                .ok_or_else(|| format!("entry {i}: complete event missing dur"))?;
+            if !dur.is_finite() || dur < 0.0 {
+                return Err(format!(
+                    "entry {i}: dur {dur} is not a finite non-negative span"
+                ));
+            }
+        }
+    }
+    Ok(items.len())
+}

@@ -1,0 +1,368 @@
+//! `mfb-obs`: zero-cost structured tracing for the DCSA synthesis pipeline.
+//!
+//! Probes are spans (RAII duration guards), counters (monotone deltas) and
+//! instants (point events), emitted through the [`obs_span!`],
+//! [`obs_counter!`] and [`obs_instant!`] macros. Recording goes to a
+//! thread-local subscriber installed with [`install`]; parallel regions
+//! re-install the collector handle captured from the spawning thread, so a
+//! single trace spans every worker.
+//!
+//! The cost contract, in three tiers:
+//!
+//! 1. **Feature off** (`--no-default-features`): [`enabled`] is a `const
+//!    false`, every macro folds to nothing, and no collector machinery is
+//!    compiled. All probe call sites still type-check identically.
+//! 2. **Feature on, no collector installed** (the default for `synthesize`
+//!    and `mfb bench`): each probe costs one relaxed atomic load and a
+//!    branch — field vectors are never built because the macros guard
+//!    argument evaluation behind [`enabled`].
+//! 3. **Collector installed**: spans cost two `Instant` reads and one
+//!    mutex push on close. Instrumentation sits at stage boundaries only —
+//!    never inside the SA proposal loop or per-A*-expansion — so pinned
+//!    hot paths execute the same instruction stream either way.
+//!
+//! Tracing never perturbs results: probes observe, they do not branch the
+//! synthesis flow, and the golden tests in `mfb-core` pin byte-identical
+//! solutions with tracing on vs off across thread counts.
+
+pub mod event;
+pub mod export;
+pub mod summary;
+
+pub use event::{EventKind, Field, FieldValue, Trace, TraceEvent};
+pub use summary::{counter_totals, stage_summaries, CounterTotal, StageSummary};
+
+#[cfg(feature = "trace")]
+mod imp {
+    use crate::event::{EventKind, Field, Trace, TraceEvent};
+    use std::cell::RefCell;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::time::Instant;
+
+    /// Count of live [`InstallGuard`]s across all threads. The fast path
+    /// for "tracing off" is a single relaxed load of this.
+    static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+    static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+    thread_local! {
+        static CURRENT: RefCell<Option<TraceCollector>> = const { RefCell::new(None) };
+        static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn tid() -> u64 {
+        TID.with(|t| *t)
+    }
+
+    struct Shared {
+        epoch: Instant,
+        events: Mutex<Vec<TraceEvent>>,
+        seq: AtomicU64,
+        open_spans: AtomicU64,
+    }
+
+    /// A cloneable handle to one trace-in-progress. Clone it into worker
+    /// threads and [`install`](crate::install) it there; all handles feed
+    /// the same event log.
+    #[derive(Clone)]
+    pub struct TraceCollector {
+        shared: Arc<Shared>,
+    }
+
+    impl TraceCollector {
+        /// Creates an empty collector; its creation instant is the trace
+        /// epoch that all `t_ns` timestamps are relative to.
+        pub fn new() -> TraceCollector {
+            TraceCollector {
+                shared: Arc::new(Shared {
+                    epoch: Instant::now(),
+                    events: Mutex::new(Vec::new()),
+                    seq: AtomicU64::new(0),
+                    open_spans: AtomicU64::new(0),
+                }),
+            }
+        }
+
+        fn now_ns(&self) -> u64 {
+            self.shared.epoch.elapsed().as_nanos() as u64
+        }
+
+        fn push(
+            &self,
+            kind: EventKind,
+            name: String,
+            t_ns: u64,
+            dur_ns: u64,
+            value: u64,
+            fields: Vec<Field>,
+        ) {
+            let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
+            let ev = TraceEvent {
+                seq,
+                tid: tid(),
+                kind,
+                name,
+                t_ns,
+                dur_ns,
+                value,
+                fields,
+            };
+            self.shared
+                .events
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(ev);
+        }
+
+        /// Snapshots the trace: events sorted by `(t_ns, seq)`, plus the
+        /// open-span count and wall time. Call after all guards dropped.
+        pub fn finish(&self) -> Trace {
+            let mut events = self
+                .shared
+                .events
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone();
+            events.sort_by_key(|e| (e.t_ns, e.seq));
+            Trace {
+                events,
+                open_spans: self.shared.open_spans.load(Ordering::SeqCst),
+                wall_ns: self.now_ns(),
+            }
+        }
+    }
+
+    impl Default for TraceCollector {
+        fn default() -> Self {
+            TraceCollector::new()
+        }
+    }
+
+    /// RAII installation of a collector on the current thread; restores
+    /// the previous subscriber (if any) on drop.
+    #[must_use = "dropping the guard immediately uninstalls the collector"]
+    pub struct InstallGuard {
+        prev: Option<TraceCollector>,
+    }
+
+    /// Installs `collector` as the current thread's subscriber.
+    pub fn install(collector: &TraceCollector) -> InstallGuard {
+        let prev = CURRENT.with(|c| c.borrow_mut().replace(collector.clone()));
+        ACTIVE.fetch_add(1, Ordering::Relaxed);
+        InstallGuard { prev }
+    }
+
+    impl Drop for InstallGuard {
+        fn drop(&mut self) {
+            ACTIVE.fetch_sub(1, Ordering::Relaxed);
+            CURRENT.with(|c| {
+                *c.borrow_mut() = self.prev.take();
+            });
+        }
+    }
+
+    /// The collector installed on this thread, if any. Capture before
+    /// spawning workers and [`install`] inside each to propagate a trace
+    /// across a parallel region.
+    pub fn current() -> Option<TraceCollector> {
+        if ACTIVE.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        CURRENT.with(|c| c.borrow().clone())
+    }
+
+    /// True when any thread has a collector installed. The macros gate
+    /// argument evaluation behind this so an untraced run pays exactly one
+    /// relaxed load and branch per probe.
+    #[inline]
+    pub fn enabled() -> bool {
+        ACTIVE.load(Ordering::Relaxed) != 0
+    }
+
+    /// An open span; emits one complete [`EventKind::Span`] record on drop.
+    #[must_use = "a span records its duration when dropped; bind it with `let _span = ...`"]
+    pub struct SpanGuard {
+        inner: Option<OpenSpan>,
+    }
+
+    struct OpenSpan {
+        collector: TraceCollector,
+        name: String,
+        start_ns: u64,
+        fields: Vec<Field>,
+    }
+
+    impl SpanGuard {
+        /// A guard that records nothing (no collector on this thread).
+        pub fn disabled() -> SpanGuard {
+            SpanGuard { inner: None }
+        }
+    }
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {
+            if let Some(s) = self.inner.take() {
+                let end = s.collector.now_ns();
+                s.collector.shared.open_spans.fetch_sub(1, Ordering::SeqCst);
+                s.collector.push(
+                    EventKind::Span,
+                    s.name,
+                    s.start_ns,
+                    end.saturating_sub(s.start_ns),
+                    0,
+                    s.fields,
+                );
+            }
+        }
+    }
+
+    /// Opens a span on the current thread's collector. Prefer
+    /// [`obs_span!`](crate::obs_span), which skips field construction when
+    /// tracing is off.
+    pub fn span(name: &str, fields: Vec<Field>) -> SpanGuard {
+        match current() {
+            Some(collector) => {
+                collector.shared.open_spans.fetch_add(1, Ordering::SeqCst);
+                let start_ns = collector.now_ns();
+                SpanGuard {
+                    inner: Some(OpenSpan {
+                        collector,
+                        name: name.to_string(),
+                        start_ns,
+                        fields,
+                    }),
+                }
+            }
+            None => SpanGuard::disabled(),
+        }
+    }
+
+    /// Records a counter delta. Prefer [`obs_counter!`](crate::obs_counter).
+    pub fn counter(name: &str, value: u64, fields: Vec<Field>) {
+        if let Some(c) = current() {
+            let t = c.now_ns();
+            c.push(EventKind::Counter, name.to_string(), t, 0, value, fields);
+        }
+    }
+
+    /// Records a point event. Prefer [`obs_instant!`](crate::obs_instant).
+    pub fn instant(name: &str, fields: Vec<Field>) {
+        if let Some(c) = current() {
+            let t = c.now_ns();
+            c.push(EventKind::Instant, name.to_string(), t, 0, 0, fields);
+        }
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+mod imp {
+    use crate::event::{Field, Trace};
+
+    /// Inert stand-in: collects nothing, [`finish`](TraceCollector::finish)
+    /// returns an empty trace.
+    #[derive(Clone, Default)]
+    pub struct TraceCollector;
+
+    impl TraceCollector {
+        /// Creates the inert collector.
+        pub fn new() -> TraceCollector {
+            TraceCollector
+        }
+
+        /// Always the empty trace.
+        pub fn finish(&self) -> Trace {
+            Trace::default()
+        }
+    }
+
+    /// Inert guard.
+    #[must_use = "dropping the guard immediately uninstalls the collector"]
+    pub struct InstallGuard(());
+
+    /// No-op.
+    pub fn install(_collector: &TraceCollector) -> InstallGuard {
+        InstallGuard(())
+    }
+
+    /// Always `None`.
+    pub fn current() -> Option<TraceCollector> {
+        None
+    }
+
+    /// Constant `false`: the branch in every probe macro folds away.
+    #[inline(always)]
+    pub fn enabled() -> bool {
+        false
+    }
+
+    /// Inert guard.
+    #[must_use = "a span records its duration when dropped; bind it with `let _span = ...`"]
+    pub struct SpanGuard(());
+
+    impl SpanGuard {
+        /// The inert guard.
+        pub fn disabled() -> SpanGuard {
+            SpanGuard(())
+        }
+    }
+
+    /// No-op.
+    pub fn span(_name: &str, _fields: Vec<Field>) -> SpanGuard {
+        SpanGuard(())
+    }
+
+    /// No-op.
+    pub fn counter(_name: &str, _value: u64, _fields: Vec<Field>) {}
+
+    /// No-op.
+    pub fn instant(_name: &str, _fields: Vec<Field>) {}
+}
+
+pub use imp::{
+    counter, current, enabled, install, instant, span, InstallGuard, SpanGuard, TraceCollector,
+};
+
+/// Runs `f` with `collector` installed on this thread and returns its
+/// result; convenience for trace-the-whole-closure call sites.
+pub fn with_collector<R>(collector: &TraceCollector, f: impl FnOnce() -> R) -> R {
+    let _guard = install(collector);
+    f()
+}
+
+/// Opens a span named `$name` with optional `key = value` fields. Expands
+/// to a guard expression; bind it (`let _span = obs_span!(...)`) so it
+/// lives to the end of the region being timed. Field expressions are not
+/// evaluated unless tracing is enabled.
+#[macro_export]
+macro_rules! obs_span {
+    ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::span($name, vec![$($crate::Field::new(stringify!($k), $v)),*])
+        } else {
+            $crate::SpanGuard::disabled()
+        }
+    };
+}
+
+/// Records a counter delta `$value` under `$name` with optional fields.
+/// Value and field expressions are not evaluated unless tracing is enabled.
+#[macro_export]
+macro_rules! obs_counter {
+    ($name:expr, $value:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::counter($name, $value, vec![$($crate::Field::new(stringify!($k), $v)),*]);
+        }
+    };
+}
+
+/// Records a point event under `$name` with optional fields. Field
+/// expressions are not evaluated unless tracing is enabled.
+#[macro_export]
+macro_rules! obs_instant {
+    ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::instant($name, vec![$($crate::Field::new(stringify!($k), $v)),*]);
+        }
+    };
+}

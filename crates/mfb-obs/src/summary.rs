@@ -1,0 +1,97 @@
+//! Per-stage aggregation: collapses a raw event log into span timing
+//! summaries (count, total, max, log2 duration histogram) and counter
+//! totals, the shape folded into `PerfReport`/`BENCH_synthesis.json`.
+
+use crate::event::{EventKind, TraceEvent};
+use serde::{Deserialize, Serialize};
+
+/// Aggregated timing for all spans sharing one name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSummary {
+    /// Span name, e.g. `stage.route`.
+    pub name: String,
+    /// Number of spans.
+    pub count: u64,
+    /// Summed duration in milliseconds.
+    pub total_ms: f64,
+    /// Longest single span in milliseconds.
+    pub max_ms: f64,
+    /// Log2 duration histogram: bucket `i` counts spans with duration in
+    /// `[2^i, 2^(i+1))` microseconds; bucket 0 also takes sub-microsecond
+    /// spans. Trailing buckets are trimmed.
+    pub hist_us_log2: Vec<u64>,
+}
+
+fn log2_bucket(dur_ns: u64) -> usize {
+    let us = dur_ns / 1_000;
+    if us <= 1 {
+        0
+    } else {
+        (63 - us.leading_zeros()) as usize
+    }
+}
+
+/// Groups span events by name, sorted by name for deterministic output.
+pub fn stage_summaries(events: &[TraceEvent]) -> Vec<StageSummary> {
+    let mut out: Vec<StageSummary> = Vec::new();
+    for e in events {
+        if e.kind != EventKind::Span {
+            continue;
+        }
+        let idx = match out.iter().position(|s| s.name == e.name) {
+            Some(i) => i,
+            None => {
+                out.push(StageSummary {
+                    name: e.name.clone(),
+                    count: 0,
+                    total_ms: 0.0,
+                    max_ms: 0.0,
+                    hist_us_log2: Vec::new(),
+                });
+                out.len() - 1
+            }
+        };
+        let s = &mut out[idx];
+        let ms = e.dur_ns as f64 / 1e6;
+        s.count += 1;
+        s.total_ms += ms;
+        if ms > s.max_ms {
+            s.max_ms = ms;
+        }
+        let b = log2_bucket(e.dur_ns);
+        if s.hist_us_log2.len() <= b {
+            s.hist_us_log2.resize(b + 1, 0);
+        }
+        s.hist_us_log2[b] += 1;
+    }
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+/// A counter name with its summed value over the trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterTotal {
+    /// Counter name, e.g. `astar.expansions`.
+    pub name: String,
+    /// Sum of every counter event's delta.
+    pub total: u64,
+}
+
+/// Sums counter events by name, sorted by name for deterministic output.
+pub fn counter_totals(events: &[TraceEvent]) -> Vec<CounterTotal> {
+    let mut out: Vec<CounterTotal> = Vec::new();
+    for e in events {
+        if e.kind != EventKind::Counter {
+            continue;
+        }
+        match out.iter_mut().find(|c| c.name == e.name) {
+            Some(c) => c.total += e.value,
+            None => out.push(CounterTotal {
+                name: e.name.clone(),
+                total: e.value,
+            }),
+        }
+    }
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}

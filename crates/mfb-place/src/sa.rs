@@ -140,6 +140,15 @@ pub fn place_sa_with_stats_and_defects(
     config: &SaConfig,
     defects: &DefectMap,
 ) -> Result<(Placement, SaStats), PlaceError> {
+    // Probes sit outside the annealing loop: the per-proposal path is
+    // pinned bitwise to the frozen reference and stays untouched; epoch
+    // and accept/reject telemetry is emitted once, after the loop, from
+    // the counters the loop already maintains.
+    let _span = mfb_obs::obs_span!(
+        "place.sa",
+        seed = config.seed,
+        components = components.len() as u64,
+    );
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut placement = initial_placement(components, grid, &mut rng, defects)?;
     let mut stats = SaStats::default();
@@ -152,6 +161,7 @@ pub fn place_sa_with_stats_and_defects(
     let mut best = placement.clone();
     let mut best_energy = current;
     let mut t = config.t0;
+    let mut epochs = 0u64;
     while t > config.t_min {
         for _ in 0..config.i_max {
             stats.proposals += 1;
@@ -179,7 +189,13 @@ pub fn place_sa_with_stats_and_defects(
             }
         }
         t *= config.alpha;
+        epochs += 1;
     }
+    mfb_obs::obs_counter!("sa.epochs", epochs);
+    mfb_obs::obs_counter!("sa.proposals", stats.proposals);
+    mfb_obs::obs_counter!("sa.evaluated", stats.evaluated);
+    mfb_obs::obs_counter!("sa.accepted", stats.accepted);
+    mfb_obs::obs_counter!("sa.rejected", stats.evaluated - stats.accepted);
     debug_assert!(best.is_legal());
     Ok((best, stats))
 }

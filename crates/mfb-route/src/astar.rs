@@ -53,6 +53,9 @@ pub struct SearchStats {
     pub expansions: u64,
     /// Heap pushes.
     pub heap_pushes: u64,
+    /// Parked-path window retries: banning iterations in
+    /// `find_parked_path` after the first attempt.
+    pub window_retries: u64,
 }
 
 /// Reusable search arena: one per router, shared by every net.

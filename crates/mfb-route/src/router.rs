@@ -241,7 +241,10 @@ pub(crate) fn find_parked_path(
     // change the search (a foreign-ring cell that is full-window feasible),
     // the repeated path is detected and the search gives up. 256 bounds
     // the loop on practical grids either way.
-    for _ in 0..256 {
+    for attempt in 0..256 {
+        if attempt > 0 {
+            scratch.stats.window_retries += 1;
+        }
         let window_of = |c: CellPos| {
             if banned.contains(&c) {
                 full
@@ -464,6 +467,36 @@ pub fn route_dcsa_with_scratch(
     defects: &DefectMap,
     scratch: &mut SearchScratch,
 ) -> Result<Routing, RouteError> {
+    let _span = mfb_obs::obs_span!("route.dcsa", tasks = schedule.transports().len() as u64);
+    let stats_before = scratch.stats;
+    let result = route_dcsa_orderings(schedule, graph, placement, wash, config, defects, scratch);
+    if mfb_obs::enabled() {
+        let d = scratch.stats;
+        mfb_obs::obs_counter!("astar.queries", d.queries - stats_before.queries);
+        mfb_obs::obs_counter!("astar.expansions", d.expansions - stats_before.expansions);
+        mfb_obs::obs_counter!(
+            "astar.heap_pushes",
+            d.heap_pushes - stats_before.heap_pushes
+        );
+        mfb_obs::obs_counter!(
+            "route.window_retries",
+            d.window_retries - stats_before.window_retries
+        );
+    }
+    result
+}
+
+/// The two-ordering routing strategy behind [`route_dcsa_with_scratch`].
+#[allow(clippy::too_many_arguments)]
+fn route_dcsa_orderings(
+    schedule: &Schedule,
+    graph: &SequencingGraph,
+    placement: &Placement,
+    wash: &dyn WashModel,
+    config: &RouterConfig,
+    defects: &DefectMap,
+    scratch: &mut SearchScratch,
+) -> Result<Routing, RouteError> {
     // Routing order matters: the paper's start-time order is tried first;
     // if some task cannot be realized, a second pass routes the
     // longest-occupancy tasks first — hard-to-place cached plugs claim
@@ -597,6 +630,11 @@ fn route_dcsa_ordered(
             }
         }
     }
+
+    mfb_obs::obs_counter!(
+        "route.rips",
+        rip_count.iter().map(|&c| u64::from(c)).sum::<u64>()
+    );
 
     // Channel-wash accounting from the final reservations: per cell, each
     // residue left by one fluid and flushed before a different fluid's

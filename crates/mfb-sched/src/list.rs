@@ -111,6 +111,11 @@ pub fn schedule_with_defects(
     config: &SchedulerConfig,
     defects: &DefectMap,
 ) -> Result<Schedule, SchedError> {
+    let _span = mfb_obs::obs_span!(
+        "sched.list",
+        ops = graph.ops().count() as u64,
+        components = components.iter().count() as u64,
+    );
     for op in graph.ops() {
         let kind = ComponentKind::for_operation(op.kind());
         let allocated = components.of_kind(kind).count();
