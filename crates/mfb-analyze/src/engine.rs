@@ -1,0 +1,184 @@
+//! A deterministic worklist fixpoint engine for set lattices.
+//!
+//! The analyses in this crate are classic monotone dataflow problems: each
+//! program point (here, a transport task or an operation) carries a fact
+//! from a join-semilattice, facts flow along edges, and the solution is
+//! the least fixpoint of the transfer equations. For provenance-style
+//! analyses the lattice is the powerset of some id set with union as join,
+//! which is what [`fixpoint_sets`] solves.
+//!
+//! Determinism is load-bearing: `mfb analyze` promises byte-identical
+//! reports regardless of `MFB_THREADS`, so the worklist is an ordered set
+//! popped smallest-first rather than a LIFO/FIFO whose drain order could
+//! depend on discovery order. Monotonicity (facts only grow, the node set
+//! is finite) guarantees termination regardless of drain order; the fixed
+//! order just makes intermediate states — and thus any diagnostics derived
+//! from traversal — reproducible.
+
+use std::collections::BTreeSet;
+
+/// Least fixpoint of `state[v] ⊇ state[u]` for every edge `u → v` in
+/// `successors`, starting from `seeds`.
+///
+/// `successors[u]` lists the nodes `u` flows into; out-of-range targets
+/// and self-loops are ignored (a self-loop is a no-op under union).
+/// Returns the per-node solution, `seeds` grown to closure.
+pub fn fixpoint_sets<T: Ord + Clone>(
+    seeds: Vec<BTreeSet<T>>,
+    successors: &[Vec<usize>],
+) -> Vec<BTreeSet<T>> {
+    let mut state = seeds;
+    let mut work: BTreeSet<usize> = (0..state.len()).collect();
+    while let Some(&u) = work.iter().next() {
+        work.remove(&u);
+        if state[u].is_empty() {
+            continue;
+        }
+        // Clone the source fact so the union below can borrow the
+        // destination mutably; provenance sets are small (≤ |ops|).
+        let src = state[u].clone();
+        for &v in successors.get(u).into_iter().flatten() {
+            if v == u || v >= state.len() {
+                continue;
+            }
+            let before = state[v].len();
+            state[v].extend(src.iter().cloned());
+            if state[v].len() != before {
+                work.insert(v);
+            }
+        }
+    }
+    state
+}
+
+/// Strongly connected components of the directed graph `successors`, in
+/// deterministic order (each component lists its nodes ascending; the
+/// component list is ordered by smallest member).
+///
+/// Used by the storage-deadlock analysis: a deadlock is a cycle in the
+/// waits-for graph, and every cycle lives inside one SCC of size ≥ 2
+/// (tasks cannot wait on themselves). Iterative Tarjan — no recursion, so
+/// adversarial proptest graphs cannot overflow the stack.
+pub fn strongly_connected_components(successors: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = successors.len();
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components: Vec<Vec<usize>> = Vec::new();
+
+    // Explicit DFS frames: (node, next child position).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        while let Some(&(v, child)) = frames.last() {
+            if child == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = successors[v].get(child) {
+                if let Some(frame) = frames.last_mut() {
+                    frame.1 += 1;
+                }
+                if w >= n {
+                    continue;
+                }
+                if index[w] == UNVISITED {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut component = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component.sort_unstable();
+                    components.push(component);
+                }
+            }
+        }
+    }
+    components.sort_by_key(|c| c[0]);
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[u32]) -> BTreeSet<u32> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn chain_propagates_to_closure() {
+        // 0 → 1 → 2, seed {7} at node 0.
+        let seeds = vec![set(&[7]), set(&[]), set(&[])];
+        let succ = vec![vec![1], vec![2], vec![]];
+        let out = fixpoint_sets(seeds, &succ);
+        assert_eq!(out, vec![set(&[7]), set(&[7]), set(&[7])]);
+    }
+
+    #[test]
+    fn cycle_converges() {
+        // 0 → 1 → 2 → 0 with distinct seeds: everyone ends with everything.
+        let seeds = vec![set(&[1]), set(&[2]), set(&[3])];
+        let succ = vec![vec![1], vec![2], vec![0]];
+        let out = fixpoint_sets(seeds, &succ);
+        let all = set(&[1, 2, 3]);
+        assert_eq!(out, vec![all.clone(), all.clone(), all]);
+    }
+
+    #[test]
+    fn diamond_joins_both_branches() {
+        // 0 → {1, 2} → 3.
+        let seeds = vec![set(&[9]), set(&[1]), set(&[2]), set(&[])];
+        let succ = vec![vec![1, 2], vec![3], vec![3], vec![]];
+        let out = fixpoint_sets(seeds, &succ);
+        assert_eq!(out[3], set(&[1, 2, 9]));
+    }
+
+    #[test]
+    fn hostile_edges_are_ignored() {
+        let seeds = vec![set(&[1]), set(&[])];
+        // Self-loop and out-of-range target.
+        let succ = vec![vec![0, 5, 1], vec![]];
+        let out = fixpoint_sets(seeds, &succ);
+        assert_eq!(out[1], set(&[1]));
+    }
+
+    #[test]
+    fn sccs_found_deterministically() {
+        // 0 ↔ 1, 2 → 0, 3 ↔ 4, 5 alone.
+        let succ = vec![vec![1], vec![0], vec![0], vec![4], vec![3], vec![]];
+        let sccs = strongly_connected_components(&succ);
+        let nontrivial: Vec<_> = sccs.into_iter().filter(|c| c.len() > 1).collect();
+        assert_eq!(nontrivial, vec![vec![0, 1], vec![3, 4]]);
+    }
+
+    #[test]
+    fn acyclic_graph_has_singleton_sccs() {
+        let succ = vec![vec![1, 2], vec![2], vec![]];
+        let sccs = strongly_connected_components(&succ);
+        assert!(sccs.iter().all(|c| c.len() == 1));
+        assert_eq!(sccs.len(), 3);
+    }
+}

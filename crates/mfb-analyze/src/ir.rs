@@ -1,0 +1,166 @@
+//! The shared analysis IR: a time-expanded occupancy map of the chip.
+//!
+//! Every analysis in this crate asks the same two questions — *which fluid
+//! sits in which cell when*, and *which of those occupancies are channel
+//! storage*. [`OccupancyIr::build`] answers both once, from the routed
+//! paths and the schedule's transport tasks, and the three analyses share
+//! the result read-only. The construction mirrors `mfb-sim`'s replay
+//! timeline (same sort key, same exact-duplicate merge, same off-grid
+//! guard) so static findings and dynamic replay violations land on the
+//! same events.
+
+use crate::AnalysisInput;
+use mfb_model::prelude::*;
+use std::collections::BTreeMap;
+
+/// Why a fluid occupies a cell during a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OccupancyKind {
+    /// The plug is moving through the cell (transport leg only).
+    Transit,
+    /// The plug is parked in the cell — the window covers part of the
+    /// task's channel-storage dwell.
+    Parked,
+}
+
+/// One cell-occupancy event: `task` holds `fluid` in a cell over `window`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CellUse {
+    /// Occupancy window on this cell (realized times).
+    pub window: Interval,
+    /// The transport task occupying the cell.
+    pub task: TaskId,
+    /// The fluid (producer operation) the task carries.
+    pub fluid: OpId,
+    /// Transit or parked (see [`OccupancyKind`]).
+    pub kind: OccupancyKind,
+    /// First instant a *different* fluid may use this cell without picking
+    /// up residue: `window.end + wash_time(fluid)`, saturating at the tick
+    /// ceiling. This is the taint analysis' kill point.
+    pub clean_at: Instant,
+}
+
+/// The parked portion of one cached transport: where and when a fluid
+/// lives in channel storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageSegment {
+    /// The transport task doing the caching.
+    pub task: TaskId,
+    /// The stored fluid.
+    pub fluid: OpId,
+    /// The operation that eventually consumes the stored fluid.
+    pub consumer: OpId,
+    /// The channel-storage dwell `[arrive, consumed_at)`.
+    pub cache: Interval,
+    /// Parked cells with their full occupancy windows, in path order.
+    pub cells: Vec<(CellPos, Interval)>,
+}
+
+/// The time-expanded occupancy map all analyses run on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OccupancyIr {
+    grid: GridSpec,
+    /// Per-cell occupancy lists, sorted by `(window, task)` and merged on
+    /// exact duplicates (a remote-parking task books its splice cell
+    /// twice). Only cells some path actually uses appear.
+    cells: BTreeMap<CellPos, Vec<CellUse>>,
+    /// One segment per transport with a positive channel-storage dwell,
+    /// in `TaskId` order.
+    storage: Vec<StorageSegment>,
+}
+
+impl OccupancyIr {
+    /// Builds the occupancy map for one synthesis result.
+    pub fn build(input: &AnalysisInput<'_>) -> OccupancyIr {
+        let _span = mfb_obs::obs_span!("analyze.ir", paths = input.routing.paths.len() as u64);
+        let grid = input.placement.grid();
+        let transports: Vec<_> = input.schedule.transports().collect();
+
+        let mut cells: BTreeMap<CellPos, Vec<CellUse>> = BTreeMap::new();
+        let mut storage: Vec<StorageSegment> = Vec::new();
+        for path in &input.routing.paths {
+            // The dwell this task was scheduled with; paths beyond the
+            // transport table (guarded against by `AnalysisInput::
+            // ids_in_range`, but kept safe here) count as uncached.
+            let cache = transports
+                .get(path.task.index())
+                .filter(|t| t.id == path.task && t.arrive < t.consumed_at)
+                .map(|t| Interval::new(t.arrive, t.consumed_at));
+            let mut parked: Vec<(CellPos, Interval)> = Vec::new();
+            let wash = input
+                .wash
+                .wash_time(input.graph.op(path.fluid).output_diffusion());
+            for (cell, window) in path.occupancies() {
+                if !grid.contains(cell) {
+                    continue;
+                }
+                let kind = match cache {
+                    Some(c) if window.overlaps(c) => OccupancyKind::Parked,
+                    _ => OccupancyKind::Transit,
+                };
+                if kind == OccupancyKind::Parked {
+                    parked.push((cell, window));
+                }
+                cells.entry(cell).or_default().push(CellUse {
+                    window,
+                    task: path.task,
+                    fluid: path.fluid,
+                    kind,
+                    clean_at: Instant::from_ticks(
+                        window.end.as_ticks().saturating_add(wash.as_ticks()),
+                    ),
+                });
+            }
+            if let (Some(cache), false) = (cache, parked.is_empty()) {
+                let consumer = transports
+                    .get(path.task.index())
+                    .map(|t| t.consumer)
+                    .unwrap_or(path.fluid);
+                storage.push(StorageSegment {
+                    task: path.task,
+                    fluid: path.fluid,
+                    consumer,
+                    cache,
+                    cells: parked,
+                });
+            }
+        }
+        for uses in cells.values_mut() {
+            uses.sort();
+            uses.dedup();
+        }
+        storage.sort_by_key(|s| s.task);
+        mfb_obs::obs_counter!("analyze.storage_segments", storage.len() as u64);
+        OccupancyIr {
+            grid,
+            cells,
+            storage,
+        }
+    }
+
+    /// The grid geometry the occupancies live on.
+    pub fn grid(&self) -> GridSpec {
+        self.grid
+    }
+
+    /// All used cells with their occupancy lists, in cell order. Each list
+    /// is sorted by `(window, task)`.
+    pub fn cells(&self) -> impl Iterator<Item = (CellPos, &[CellUse])> {
+        self.cells.iter().map(|(&c, uses)| (c, uses.as_slice()))
+    }
+
+    /// The occupancy list of one cell (empty if no path uses it).
+    pub fn cell(&self, cell: CellPos) -> &[CellUse] {
+        self.cells.get(&cell).map_or(&[], Vec::as_slice)
+    }
+
+    /// Channel-storage segments, in `TaskId` order.
+    pub fn storage(&self) -> &[StorageSegment] {
+        &self.storage
+    }
+
+    /// Number of distinct cells any path uses.
+    pub fn used_cells(&self) -> usize {
+        self.cells.len()
+    }
+}

@@ -1,0 +1,232 @@
+//! Soundness pins for the static analyzer against the dynamic replay
+//! oracle.
+//!
+//! Two guarantees are exercised end-to-end on the paper's Table-I
+//! workloads:
+//!
+//! 1. **No false positives on clean solutions** — every freshly
+//!    synthesized Table-I solution replays cleanly, and the analyzer
+//!    agrees (no `Error`-severity findings).
+//! 2. **Superset of replay's contamination classes** — for corrupted
+//!    solutions, every cell the replay engine flags as a `CellConflict`
+//!    or `WashGap` also appears among the analyzer's `ANA-TAINT-001`
+//!    locations (zero false negatives on the shared conflict classes).
+//!
+//! Plus the determinism contract: rendered reports are byte-identical
+//! across `MFB_THREADS` settings, and SARIF output stays valid JSON.
+
+use mfb_bench_suite::synth::SyntheticSpec;
+use mfb_bench_suite::table1_benchmarks;
+use mfb_core::prelude::*;
+use mfb_model::prelude::*;
+use mfb_sim::prelude::{replay, SimViolation};
+use mfb_verify::prelude::*;
+
+fn wash() -> LogLinearWash {
+    LogLinearWash::paper_calibrated()
+}
+
+/// Duplicates the head occupancy of one path onto a different-fluid path,
+/// the same seeded defect `mfb analyze --inject conflict` uses. Returns
+/// `false` when the solution has no suitable victim.
+fn inject_conflict(sol: &mut Solution) -> bool {
+    let donor = match sol.routing.paths.iter().find(|p| !p.is_empty()) {
+        Some(p) => (p.cells[0], p.windows[0], p.fluid),
+        None => return false,
+    };
+    let Some(victim) = sol
+        .routing
+        .paths
+        .iter_mut()
+        .find(|p| p.fluid != donor.2 && !p.is_empty())
+    else {
+        return false;
+    };
+    victim.cells.push(donor.0);
+    victim.windows.push(donor.1);
+    true
+}
+
+#[test]
+fn table1_clean_solutions_are_analysis_clean() {
+    for b in table1_benchmarks() {
+        let comps = b.components(&ComponentLibrary::default());
+        let sol = Synthesizer::paper_dcsa()
+            .synthesize(&b.graph, &comps, &wash())
+            .expect("Table-I benchmark synthesizes");
+        let sim = replay(
+            &b.graph,
+            &comps,
+            &sol.schedule,
+            &sol.placement,
+            &sol.routing,
+            &wash(),
+        );
+        assert!(
+            sim.is_valid(),
+            "{}: replay found {:?}",
+            b.name,
+            sim.violations
+        );
+        let report = sol.analyze(&b.graph, &comps, &wash());
+        let errors: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        assert!(errors.is_empty(), "{}: {errors:?}", b.name);
+    }
+}
+
+#[test]
+fn analyzer_findings_superset_replay_conflicts() {
+    // Every CellConflict / WashGap cell the replay oracle reports for a
+    // corrupted solution must appear among ANA-TAINT-001 locations: the
+    // all-ordered-pairs taint check subsumes replay's overlapping-pair and
+    // consecutive-wash-gap classes.
+    let mut corrupted = 0;
+    for b in table1_benchmarks() {
+        let comps = b.components(&ComponentLibrary::default());
+        let mut sol = Synthesizer::paper_dcsa()
+            .synthesize(&b.graph, &comps, &wash())
+            .expect("Table-I benchmark synthesizes");
+        if !inject_conflict(&mut sol) {
+            continue;
+        }
+        corrupted += 1;
+        let sim = replay(
+            &b.graph,
+            &comps,
+            &sol.schedule,
+            &sol.placement,
+            &sol.routing,
+            &wash(),
+        );
+        let report = sol.analyze(&b.graph, &comps, &wash());
+        let taint_cells: Vec<CellPos> = report
+            .by_rule("ANA-TAINT-001")
+            .filter_map(|d| match d.location {
+                Location::Cell(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        for v in &sim.violations {
+            let cell = match v {
+                SimViolation::CellConflict { cell, .. } => *cell,
+                SimViolation::WashGap { cell, .. } => *cell,
+                _ => continue,
+            };
+            assert!(
+                taint_cells.contains(&cell),
+                "{}: replay flagged {v:?} but ANA-TAINT-001 only covers {taint_cells:?}",
+                b.name
+            );
+        }
+    }
+    assert!(corrupted > 0, "no benchmark accepted the seeded defect");
+}
+
+#[test]
+fn injected_conflict_is_always_caught() {
+    // The seeded defect itself must never slip through: the duplicated
+    // head occupancy puts two fluids in one cell at the same time.
+    for seed in [1, 2, 3] {
+        let g = SyntheticSpec::new(14, seed).generate();
+        let comps = Allocation::new(2, 2, 2, 2).instantiate(&ComponentLibrary::default());
+        let mut sol = Synthesizer::paper_dcsa()
+            .synthesize(&g, &comps, &wash())
+            .expect("synthesizes");
+        assert!(inject_conflict(&mut sol), "seed {seed}: no victim path");
+        let report = sol.analyze(&g, &comps, &wash());
+        assert!(
+            report.by_rule("ANA-TAINT-001").count() > 0,
+            "seed {seed}: {:?}",
+            report.diagnostics
+        );
+        assert_eq!(report.exit_code(), 2, "errors must exit 2");
+    }
+}
+
+#[test]
+fn reports_are_byte_identical_across_thread_counts() {
+    let b = table1_benchmarks().swap_remove(0); // PCR
+    let comps = b.components(&ComponentLibrary::default());
+    let mut sol = Synthesizer::paper_dcsa()
+        .synthesize(&b.graph, &comps, &wash())
+        .expect("synthesizes");
+    assert!(inject_conflict(&mut sol), "PCR accepts the seeded defect");
+    let render = |threads: &str| {
+        std::env::set_var("MFB_THREADS", threads);
+        let report = sol.analyze(&b.graph, &comps, &wash());
+        std::env::remove_var("MFB_THREADS");
+        (render_pretty(&report), render_json(&report))
+    };
+    let (pretty1, json1) = render("1");
+    let (pretty8, json8) = render("8");
+    assert_eq!(pretty1, pretty8, "pretty output diverged across threads");
+    assert_eq!(json1, json8, "json output diverged across threads");
+}
+
+#[test]
+fn sarif_output_is_valid_json_with_rule_metadata() {
+    let b = table1_benchmarks().swap_remove(0); // PCR
+    let comps = b.components(&ComponentLibrary::default());
+    let mut sol = Synthesizer::paper_dcsa()
+        .synthesize(&b.graph, &comps, &wash())
+        .expect("synthesizes");
+    assert!(inject_conflict(&mut sol), "PCR accepts the seeded defect");
+    let report = sol.analyze(&b.graph, &comps, &wash());
+    let sarif = render_sarif_with(&report, &analysis_rules());
+    let doc: serde_json::Value = serde_json::from_str(&sarif).expect("SARIF is valid JSON");
+    let rules = doc["runs"][0]["tool"]["driver"]["rules"]
+        .as_array()
+        .expect("rule metadata present");
+    assert!(
+        rules
+            .iter()
+            .any(|r| r["id"].as_str() == Some("ANA-TAINT-001")),
+        "ANA rule catalog missing from SARIF"
+    );
+    let results = doc["runs"][0]["results"].as_array().expect("results");
+    assert!(
+        !results.is_empty(),
+        "findings must surface as SARIF results"
+    );
+}
+
+#[test]
+fn rule_selection_filters_findings() {
+    let b = table1_benchmarks().swap_remove(0); // PCR
+    let comps = b.components(&ComponentLibrary::default());
+    let mut sol = Synthesizer::paper_dcsa()
+        .synthesize(&b.graph, &comps, &wash())
+        .expect("synthesizes");
+    assert!(inject_conflict(&mut sol), "PCR accepts the seeded defect");
+
+    let mut only_taint = Analyzer::with_all_rules();
+    only_taint.retain_only(["ANA-TAINT-001"]);
+    let report = sol.analyze_with(
+        &b.graph,
+        &comps,
+        &wash(),
+        mfb_route::prelude::RouterConfig::paper(),
+        &only_taint,
+    );
+    assert!(report.by_rule("ANA-TAINT-001").count() > 0);
+    assert!(
+        report.diagnostics.iter().all(|d| d.rule == "ANA-TAINT-001"),
+        "retain_only leaked other rules: {:?}",
+        report.diagnostics
+    );
+
+    let mut skipped = Analyzer::with_all_rules();
+    skipped.disable("ANA-TAINT-001");
+    let report = sol.analyze_with(
+        &b.graph,
+        &comps,
+        &wash(),
+        mfb_route::prelude::RouterConfig::paper(),
+        &skipped,
+    );
+    assert_eq!(report.by_rule("ANA-TAINT-001").count(), 0);
+}

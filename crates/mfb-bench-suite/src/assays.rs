@@ -43,15 +43,15 @@ pub fn motivating() -> SequencingGraph {
     let o8 = b.labelled_operation(OperationKind::Heat, s(3), d_wash(0.2), "o8");
     let o9 = b.labelled_operation(OperationKind::Detect, s(3), d_wash(0.2), "o9");
     let o10 = b.labelled_operation(OperationKind::Detect, s(4), d_wash(0.2), "o10");
-    b.edge(o1, o5).unwrap();
-    b.edge(o3, o6).unwrap();
-    b.edge(o4, o6).unwrap();
-    b.edge(o2, o7).unwrap();
-    b.edge(o5, o7).unwrap();
-    b.edge(o6, o8).unwrap();
-    b.edge(o8, o9).unwrap();
-    b.edge(o7, o10).unwrap();
-    b.edge(o9, o10).unwrap();
+    b.edge(o1, o5).expect("edge endpoints are valid");
+    b.edge(o3, o6).expect("edge endpoints are valid");
+    b.edge(o4, o6).expect("edge endpoints are valid");
+    b.edge(o2, o7).expect("edge endpoints are valid");
+    b.edge(o5, o7).expect("edge endpoints are valid");
+    b.edge(o6, o8).expect("edge endpoints are valid");
+    b.edge(o8, o9).expect("edge endpoints are valid");
+    b.edge(o7, o10).expect("edge endpoints are valid");
+    b.edge(o9, o10).expect("edge endpoints are valid");
     b.build().expect("motivating example is a valid DAG")
 }
 
@@ -81,12 +81,12 @@ pub fn pcr() -> SequencingGraph {
     let m6 = b.labelled_operation(OperationKind::Mix, s(6), d_wash(3.0), "merge 3+4");
     // Root.
     let m7 = b.labelled_operation(OperationKind::Mix, s(6), d_wash(3.0), "master mix");
-    b.edge(m1, m5).unwrap();
-    b.edge(m2, m5).unwrap();
-    b.edge(m3, m6).unwrap();
-    b.edge(m4, m6).unwrap();
-    b.edge(m5, m7).unwrap();
-    b.edge(m6, m7).unwrap();
+    b.edge(m1, m5).expect("edge endpoints are valid");
+    b.edge(m2, m5).expect("edge endpoints are valid");
+    b.edge(m3, m6).expect("edge endpoints are valid");
+    b.edge(m4, m6).expect("edge endpoints are valid");
+    b.edge(m5, m7).expect("edge endpoints are valid");
+    b.edge(m6, m7).expect("edge endpoints are valid");
     b.build().expect("PCR is a valid DAG")
 }
 
@@ -117,7 +117,7 @@ pub fn ivd() -> SequencingGraph {
             d_wash(0.2),
             format!("detect assay {}", i + 1),
         );
-        b.edge(mix, det).unwrap();
+        b.edge(mix, det).expect("edge endpoints are valid");
     }
     b.build().expect("IVD is a valid DAG")
 }
@@ -151,7 +151,7 @@ pub fn cpa() -> SequencingGraph {
                 d_wash(w),
                 format!("dilute c{chain} s{step}"),
             );
-            b.edge(prev, op).unwrap();
+            b.edge(prev, op).expect("edge endpoints are valid");
             if step == CHAIN_LEN / 2 - 1 {
                 mid = op;
             }
@@ -163,21 +163,21 @@ pub fn cpa() -> SequencingGraph {
             d_wash(6.0),
             format!("dye c{chain}"),
         );
-        b.edge(prev, dye).unwrap();
+        b.edge(prev, dye).expect("edge endpoints are valid");
         let det = b.labelled_operation(
             OperationKind::Detect,
             s(4),
             d_wash(0.2),
             format!("detect c{chain}"),
         );
-        b.edge(dye, det).unwrap();
+        b.edge(dye, det).expect("edge endpoints are valid");
         let cal = b.labelled_operation(
             OperationKind::Detect,
             s(4),
             d_wash(0.2),
             format!("calibrate c{chain}"),
         );
-        b.edge(mid, cal).unwrap();
+        b.edge(mid, cal).expect("edge endpoints are valid");
     }
     let g = b.build().expect("CPA is a valid DAG");
     debug_assert_eq!(g.len(), 55);

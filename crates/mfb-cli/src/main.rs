@@ -16,6 +16,10 @@
 //! mfb ablation                     binding/weight ablation study
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 use mfb_bench_suite::{benchmark_by_name, motivating_example, table1_benchmarks, Benchmark};
 use mfb_core::prelude::*;
 use mfb_model::prelude::*;
@@ -65,6 +69,7 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<ExitCode, String> {
         "events" => cmd_events(rest).map(ok),
         "validate" => cmd_validate(rest).map(ok),
         "verify" => cmd_verify(rest),
+        "analyze" => cmd_analyze(rest),
         "faults" => cmd_faults(rest).map(ok),
         "bench" => cmd_bench(rest).map(ok),
         "batch" => cmd_batch(rest),
@@ -213,8 +218,24 @@ USAGE:
         --flow ours|ba             which flow (default: ours)
         --format pretty|json|sarif output format (default: pretty)
         --out <file>               write the report to a file
-        --disable <RULE-ID>        turn one rule off (repeatable)
+        --only <RULE-ID>           run only the listed rules (repeatable)
+        --skip <RULE-ID>           turn one rule off (repeatable;
+                                   --disable is an alias)
         --list-rules               list all design rules and exit
+    mfb analyze <bench|file.assay> [options]
+                                   run the cross-stage dataflow analyses
+                                   (contamination taint, storage liveness,
+                                   valve conflicts) and exit with the
+                                   worst severity (0 clean, 1 warnings,
+                                   2 errors)
+        --flow ours|ba             which flow (default: ours)
+        --format pretty|json|sarif output format (default: pretty)
+        --out <file>               write the report to a file
+        --only <RULE-ID>           run only the listed rules (repeatable)
+        --skip <RULE-ID>           turn one rule off (repeatable)
+        --inject conflict|wash-gap corrupt the routed solution with a
+                                   seeded defect first (CI fixture)
+        --list-rules               list the ANA-* rule catalog and exit
     mfb faults [options]           seeded Monte-Carlo defect injection:
                                    sample defect maps, synthesize around
                                    them with the resilient escalation
@@ -540,6 +561,59 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Validates the shared `--only`/`--skip` rule selection of `verify` and
+/// `analyze`: every id must exist, so a typo cannot silently pass a check.
+/// `--only` keeps just the listed rules; `--skip` is subtractive.
+fn validate_rule_ids(
+    command: &str,
+    known: &[&str],
+    only: &[String],
+    skip: &[String],
+) -> Result<(), String> {
+    for id in only.iter().chain(skip.iter()) {
+        if !known.contains(&id.as_str()) {
+            return Err(format!(
+                "unknown rule `{id}`; see `mfb {command} --list-rules`"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Prints the `--list-rules` table shared by `verify` and `analyze`.
+fn print_rule_table(rules: &[mfb_verify::RuleInfo], is_enabled: impl Fn(&str) -> bool) {
+    println!(
+        "{:<14} {:<8} {:<28} description",
+        "rule", "severity", "name"
+    );
+    for r in rules {
+        let state = if is_enabled(r.id) { "" } else { " (disabled)" };
+        println!(
+            "{:<14} {:<8} {:<28} {}{state}",
+            r.id, r.severity, r.name, r.description
+        );
+    }
+}
+
+/// Resolves a benchmark name or `.assay` file path into an assay and its
+/// component allocation.
+fn resolve_assay_target(target: &str) -> Result<(SequencingGraph, ComponentSet), String> {
+    if let Some(b) = benchmark_by_name(target) {
+        Ok((b.graph.clone(), b.components(&ComponentLibrary::default())))
+    } else if std::path::Path::new(target).exists() {
+        let text = std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?;
+        let assay = parse_assay(&text).map_err(|e| format!("{target}: {e}"))?;
+        let alloc = assay
+            .allocation
+            .ok_or("the assay file must contain an `alloc M H F D` line")?;
+        Ok((assay.graph, alloc.instantiate(&ComponentLibrary::default())))
+    } else {
+        Err(format!(
+            "`{target}` is neither a benchmark (see `mfb list`) nor an assay file"
+        ))
+    }
+}
+
 fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
     use mfb_verify::prelude::*;
 
@@ -547,7 +621,8 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
     let mut flow = "ours".to_string();
     let mut format = "pretty".to_string();
     let mut out: Option<String> = None;
-    let mut disabled: Vec<String> = Vec::new();
+    let mut only: Vec<String> = Vec::new();
+    let mut skip: Vec<String> = Vec::new();
     let mut list_rules = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -555,7 +630,9 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
             "--flow" => flow = it.next().ok_or("--flow needs a value")?.clone(),
             "--format" => format = it.next().ok_or("--format needs a value")?.clone(),
             "--out" => out = Some(it.next().ok_or("--out needs a file")?.clone()),
-            "--disable" => disabled.push(it.next().ok_or("--disable needs a rule id")?.clone()),
+            "--only" => only.push(it.next().ok_or("--only needs a rule id")?.clone()),
+            // `--disable` predates `--skip` and stays as an alias.
+            "--skip" | "--disable" => skip.push(it.next().ok_or("--skip needs a rule id")?.clone()),
             "--list-rules" => list_rules = true,
             other if target.is_none() => target = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`")),
@@ -563,53 +640,24 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
     }
 
     let mut registry = RuleRegistry::with_all_rules();
-    for id in &disabled {
-        if registry.rule(id).is_none() {
-            return Err(format!(
-                "unknown rule `{id}`; see `mfb verify --list-rules`"
-            ));
-        }
+    let known: Vec<&str> = registry.rules().map(|r| r.id).collect();
+    validate_rule_ids("verify", &known, &only, &skip)?;
+    if !only.is_empty() {
+        registry.retain_only(only.iter().map(String::as_str));
+    }
+    for id in &skip {
         registry.disable(id);
     }
 
     if list_rules {
-        println!(
-            "{:<14} {:<8} {:<28} description",
-            "rule", "severity", "name"
-        );
-        for r in registry.rules() {
-            let state = if registry.is_enabled(r.id) {
-                ""
-            } else {
-                " (disabled)"
-            };
-            println!(
-                "{:<14} {:<8} {:<28} {}{state}",
-                r.id, r.severity, r.name, r.description
-            );
-        }
+        let rules: Vec<_> = registry.rules().collect();
+        print_rule_table(&rules, |id| registry.is_enabled(id));
         return Ok(ExitCode::SUCCESS);
     }
 
     let target =
         target.ok_or("usage: mfb verify <bench|file.assay> [--format pretty|json|sarif]")?;
-
-    // A benchmark name, or a path to a user-defined `.assay` file.
-    let (graph, comps) = if let Some(b) = benchmark_by_name(&target) {
-        (b.graph.clone(), b.components(&ComponentLibrary::default()))
-    } else if std::path::Path::new(&target).exists() {
-        let text =
-            std::fs::read_to_string(&target).map_err(|e| format!("reading {target}: {e}"))?;
-        let assay = parse_assay(&text).map_err(|e| format!("{target}: {e}"))?;
-        let alloc = assay
-            .allocation
-            .ok_or("the assay file must contain an `alloc M H F D` line")?;
-        (assay.graph, alloc.instantiate(&ComponentLibrary::default()))
-    } else {
-        return Err(format!(
-            "`{target}` is neither a benchmark (see `mfb list`) nor an assay file"
-        ));
-    };
+    let (graph, comps) = resolve_assay_target(&target)?;
 
     let synth = match flow.as_str() {
         "ours" => Synthesizer::paper_dcsa(),
@@ -640,6 +688,129 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
         None => print!("{rendered}"),
     }
     Ok(ExitCode::from(report.exit_code() as u8))
+}
+
+fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
+    use mfb_analyze::prelude::*;
+    use mfb_verify::prelude::*;
+
+    let mut target: Option<String> = None;
+    let mut flow = "ours".to_string();
+    let mut format = "pretty".to_string();
+    let mut out: Option<String> = None;
+    let mut only: Vec<String> = Vec::new();
+    let mut skip: Vec<String> = Vec::new();
+    let mut inject: Option<String> = None;
+    let mut list_rules = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--flow" => flow = it.next().ok_or("--flow needs a value")?.clone(),
+            "--format" => format = it.next().ok_or("--format needs a value")?.clone(),
+            "--out" => out = Some(it.next().ok_or("--out needs a file")?.clone()),
+            "--only" => only.push(it.next().ok_or("--only needs a rule id")?.clone()),
+            "--skip" => skip.push(it.next().ok_or("--skip needs a rule id")?.clone()),
+            "--inject" => inject = Some(it.next().ok_or("--inject needs a defect kind")?.clone()),
+            "--list-rules" => list_rules = true,
+            other if target.is_none() => target = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+
+    let mut analyzer = Analyzer::with_all_rules();
+    let rules = analysis_rules();
+    let known: Vec<&str> = rules.iter().map(|r| r.id).collect();
+    validate_rule_ids("analyze", &known, &only, &skip)?;
+    if !only.is_empty() {
+        analyzer.retain_only(only.iter().map(String::as_str));
+    }
+    for id in &skip {
+        analyzer.disable(id);
+    }
+
+    if list_rules {
+        print_rule_table(&rules, |id| analyzer.is_enabled(id));
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let target =
+        target.ok_or("usage: mfb analyze <bench|file.assay> [--format pretty|json|sarif]")?;
+    let (graph, comps) = resolve_assay_target(&target)?;
+
+    let synth = match flow.as_str() {
+        "ours" => Synthesizer::paper_dcsa(),
+        "ba" => Synthesizer::paper_baseline(),
+        other => return Err(format!("unknown flow `{other}` (expected ours|ba)")),
+    };
+    let router = synth.config().router;
+    let mut solution = synth
+        .synthesize(&graph, &comps, &wash())
+        .map_err(|e| e.to_string())?;
+    if let Some(kind) = &inject {
+        inject_defect(&mut solution, kind)?;
+        eprintln!("injected `{kind}` defect into the routed solution");
+    }
+    let report = solution.analyze_with(&graph, &comps, &wash(), router, &analyzer);
+
+    let rendered = match format.as_str() {
+        "pretty" => render_pretty(&report),
+        "json" => render_json(&report),
+        "sarif" => render_sarif_with(&report, &rules),
+        other => {
+            return Err(format!(
+                "unknown format `{other}` (expected pretty|json|sarif)"
+            ))
+        }
+    };
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &rendered).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("report written to {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(ExitCode::from(report.exit_code() as u8))
+}
+
+/// Corrupts a routed solution with a known defect so the analyzer's
+/// detection can be demonstrated (and CI-checked) on real benchmarks.
+fn inject_defect(solution: &mut mfb_core::prelude::Solution, kind: &str) -> Result<(), String> {
+    let paths = &mut solution.routing.paths;
+    let donor = paths
+        .iter()
+        .find(|p| !p.is_empty())
+        .ok_or("cannot inject: the solution has no routed paths")?;
+    let donor_fluid = donor.fluid;
+    let cell = donor.cells[0];
+    let window = donor.windows[0];
+    let victim = paths
+        .iter_mut()
+        .find(|p| p.fluid != donor_fluid && !p.is_empty())
+        .ok_or("cannot inject: need two routed fluids")?;
+    match kind {
+        // A different fluid books the donor's head cell at the same time:
+        // conflict classes 1–2, caught by replay and ANA-TAINT-001 alike.
+        "conflict" => {
+            victim.cells.push(cell);
+            victim.windows.push(window);
+        }
+        // The different fluid arrives one tick after the donor leaves —
+        // inside the residue horizon, before any wash can complete.
+        "wash-gap" => {
+            let start = window.end + mfb_model::prelude::Duration::from_ticks(1);
+            let end = start + mfb_model::prelude::Duration::from_secs(2);
+            victim.cells.push(cell);
+            victim
+                .windows
+                .push(mfb_model::prelude::Interval::new(start, end));
+        }
+        other => {
+            return Err(format!(
+                "unknown defect kind `{other}` (expected conflict|wash-gap)"
+            ))
+        }
+    }
+    Ok(())
 }
 
 /// Aggregated outcome of one (benchmark, severity) cell of the sweep.

@@ -24,6 +24,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 use mfb_model::prelude::*;
 use mfb_place::prelude::Placement;
@@ -41,6 +43,115 @@ const COMPONENT_VALVES: [usize; 4] = [
     2,         // filter
     2,         // detector
 ];
+
+/// The channel-valve topology implied by a routed flow layer: which cells
+/// are junctions, which channel directions meet there, and which cells sit
+/// on a component's port ring.
+///
+/// This is the structural half of [`ControlEstimate`], exposed so other
+/// analyses (notably `mfb-analyze`'s valve-conflict check) can reason about
+/// individual valves — a valve being the gate on one incident edge
+/// `(junction, neighbour)` — instead of only aggregate counts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ValveNetwork {
+    /// Channel adjacency: every cell used by some path, with the set of
+    /// channel cells reachable in one path step.
+    neighbours: BTreeMap<CellPos, BTreeSet<CellPos>>,
+    /// Number of component-port directions incident to each used cell
+    /// (orthogonal neighbours covered by a component rectangle).
+    port_degree: BTreeMap<CellPos, usize>,
+    /// Cells that need steering valves (see [`ValveNetwork::is_junction`]).
+    junction_cells: BTreeSet<CellPos>,
+}
+
+impl ValveNetwork {
+    /// Builds the valve network for `routing` on `placement`.
+    pub fn build(routing: &Routing, placement: &Placement) -> ValveNetwork {
+        let grid = placement.grid();
+
+        // The channel graph: every used cell, with its neighbour set drawn
+        // from path adjacencies.
+        let mut neighbours: BTreeMap<CellPos, BTreeSet<CellPos>> = BTreeMap::new();
+        for path in &routing.paths {
+            for pair in path.cells.windows(2) {
+                if pair[0] != pair[1] {
+                    neighbours.entry(pair[0]).or_default().insert(pair[1]);
+                    neighbours.entry(pair[1]).or_default().insert(pair[0]);
+                }
+            }
+            if let Some(&only) = path.cells.first() {
+                neighbours.entry(only).or_default();
+            }
+        }
+
+        // Port adjacency: a channel cell next to a component rectangle has
+        // an extra (virtual) direction into the component.
+        let port_degree: BTreeMap<CellPos, usize> = neighbours
+            .keys()
+            .map(|&cell| {
+                let ports = cell
+                    .neighbours(grid.width, grid.height)
+                    .filter(|&nb| placement.rects().iter().any(|r| r.contains(nb)))
+                    .count();
+                (cell, ports)
+            })
+            .collect();
+
+        let junction_cells: BTreeSet<CellPos> = neighbours
+            .iter()
+            .filter(|(cell, nbs)| {
+                let ports = port_degree.get(*cell).copied().unwrap_or(0);
+                nbs.len() + ports >= 3 || (ports > 0 && !nbs.is_empty())
+            })
+            .map(|(&cell, _)| cell)
+            .collect();
+
+        ValveNetwork {
+            neighbours,
+            port_degree,
+            junction_cells,
+        }
+    }
+
+    /// `true` when `cell` is a junction: three or more channel directions
+    /// meet there, or it is a port-ring cell with channel traffic. Every
+    /// incident channel direction of a junction carries one microvalve.
+    pub fn is_junction(&self, cell: CellPos) -> bool {
+        self.junction_cells.contains(&cell)
+    }
+
+    /// All junction cells, in cell order.
+    pub fn junctions(&self) -> impl Iterator<Item = CellPos> + '_ {
+        self.junction_cells.iter().copied()
+    }
+
+    /// The channel cells adjacent to `cell` in the routed channel graph
+    /// (empty for cells no path uses).
+    pub fn channel_neighbours(&self, cell: CellPos) -> impl Iterator<Item = CellPos> + '_ {
+        self.neighbours.get(&cell).into_iter().flatten().copied()
+    }
+
+    /// Number of component-port directions incident to `cell`.
+    pub fn port_degree(&self, cell: CellPos) -> usize {
+        self.port_degree.get(&cell).copied().unwrap_or(0)
+    }
+
+    /// Total incident directions of `cell`: channel neighbours plus ports.
+    pub fn degree(&self, cell: CellPos) -> usize {
+        self.neighbours.get(&cell).map_or(0, BTreeSet::len) + self.port_degree(cell)
+    }
+
+    /// Number of junction cells.
+    pub fn junction_count(&self) -> usize {
+        self.junction_cells.len()
+    }
+
+    /// Total channel-network microvalves: one per incident direction per
+    /// junction.
+    pub fn channel_valve_count(&self) -> usize {
+        self.junctions().map(|j| self.degree(j)).sum()
+    }
+}
 
 /// Estimated control-layer cost of a routed solution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,54 +197,15 @@ impl ControlEstimate {
     /// `placement` (component-internal valves excluded; see
     /// [`ControlEstimate::of_chip`]).
     pub fn of(routing: &Routing, placement: &Placement) -> ControlEstimate {
-        let grid = placement.grid();
-
-        // The channel graph: every used cell, with its neighbour set drawn
-        // from path adjacencies.
-        let mut neighbours: BTreeMap<CellPos, BTreeSet<CellPos>> = BTreeMap::new();
-        for path in &routing.paths {
-            for pair in path.cells.windows(2) {
-                if pair[0] != pair[1] {
-                    neighbours.entry(pair[0]).or_default().insert(pair[1]);
-                    neighbours.entry(pair[1]).or_default().insert(pair[0]);
-                }
-            }
-            if let Some(&only) = path.cells.first() {
-                neighbours.entry(only).or_default();
-            }
-        }
-
-        // Port adjacency: a channel cell next to a component rectangle has
-        // an extra (virtual) direction into the component.
-        let port_degree = |cell: CellPos| -> usize {
-            cell.neighbours(grid.width, grid.height)
-                .filter(|&nb| placement.rects().iter().any(|r| r.contains(nb)))
-                .count()
-        };
-
-        let mut junctions = 0usize;
-        let mut channel_valves = 0usize;
-        let mut junction_cells: BTreeSet<CellPos> = BTreeSet::new();
-        for (&cell, nbs) in &neighbours {
-            let degree = nbs.len() + port_degree(cell);
-            if degree >= 3 || (port_degree(cell) > 0 && !nbs.is_empty()) {
-                junctions += 1;
-                channel_valves += degree;
-                junction_cells.insert(cell);
-            }
-        }
+        let network = ValveNetwork::build(routing, placement);
+        let junctions = network.junction_count();
+        let channel_valves = network.channel_valve_count();
 
         // Switching: two events per junction cell traversed per task.
         let switching_events = routing
             .paths
             .iter()
-            .map(|p| {
-                2 * p
-                    .cells
-                    .iter()
-                    .filter(|c| junction_cells.contains(c))
-                    .count()
-            })
+            .map(|p| 2 * p.cells.iter().filter(|&&c| network.is_junction(c)).count())
             .sum();
 
         // ceil(log2(valves + 1)) = bit-width of `valves`.

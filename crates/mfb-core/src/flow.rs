@@ -4,6 +4,7 @@
 use crate::cache::{BaseKeys, StageCache, StageCtx};
 use crate::config::{PlacementStrategy, RoutingStrategy, SynthesisConfig};
 use crate::error::SynthesisError;
+use mfb_analyze::prelude::{AnalysisInput, Analyzer};
 use mfb_model::hash::ContentHash;
 use mfb_model::prelude::*;
 use mfb_place::prelude::*;
@@ -84,6 +85,47 @@ impl Solution {
             router,
         );
         registry.run(&input)
+    }
+
+    /// Runs the cross-stage dataflow analyses (contamination taint,
+    /// storage liveness, valve conflicts) with every `ANA-*` rule enabled
+    /// and the paper's router configuration. Use
+    /// [`analyze_with`](Solution::analyze_with) to toggle rules.
+    pub fn analyze(
+        &self,
+        graph: &SequencingGraph,
+        components: &ComponentSet,
+        wash: &dyn WashModel,
+    ) -> VerifyReport {
+        self.analyze_with(
+            graph,
+            components,
+            wash,
+            RouterConfig::paper(),
+            &Analyzer::with_all_rules(),
+        )
+    }
+
+    /// Runs the dataflow analyses with an explicit router configuration
+    /// (consulted for wash-plan feasibility) and analyzer rule set.
+    pub fn analyze_with(
+        &self,
+        graph: &SequencingGraph,
+        components: &ComponentSet,
+        wash: &dyn WashModel,
+        router: RouterConfig,
+        analyzer: &Analyzer,
+    ) -> VerifyReport {
+        let input = AnalysisInput::new(
+            graph,
+            components,
+            &self.schedule,
+            &self.placement,
+            &self.routing,
+            wash,
+            router,
+        );
+        analyzer.run(&input)
     }
 }
 

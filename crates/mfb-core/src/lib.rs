@@ -52,6 +52,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod analysis;
 pub mod cache;
@@ -76,5 +78,6 @@ pub mod prelude {
         DegradedSolution, RecoveryPolicy, RecoveryTrace, ResilientOutcome, Rung, RungAttempt,
     };
     pub use crate::report::{fig8_text, fig9_text, table1_text, ComparisonRow};
+    pub use mfb_analyze::prelude::{analysis_rules, Analyzer};
     pub use mfb_verify::prelude::{RuleRegistry, VerifyReport};
 }

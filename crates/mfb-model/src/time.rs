@@ -328,7 +328,10 @@ impl fmt::Display for Instant {
 /// assert!(!a.overlaps(b));
 /// assert!(a.overlaps(Interval::new(Instant::from_secs(4), Instant::from_secs(6))));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Intervals order lexicographically by `(start, end)` — a total order used
+/// for deterministic diagnostic output, not a containment relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Interval {
     /// Inclusive start of the interval.
     pub start: Instant,

@@ -25,6 +25,12 @@
 //! synthesis flow, and the golden tests in `mfb-core` pin byte-identical
 //! solutions with tracing on vs off across thread counts.
 
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod event;
 pub mod export;
 pub mod summary;
@@ -68,6 +74,14 @@ mod imp {
     #[derive(Clone)]
     pub struct TraceCollector {
         shared: Arc<Shared>,
+    }
+
+    impl std::fmt::Debug for TraceCollector {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("TraceCollector")
+                .field("events", &self.shared.events.lock().map_or(0, |e| e.len()))
+                .finish_non_exhaustive()
+        }
     }
 
     impl TraceCollector {
@@ -142,6 +156,7 @@ mod imp {
     /// RAII installation of a collector on the current thread; restores
     /// the previous subscriber (if any) on drop.
     #[must_use = "dropping the guard immediately uninstalls the collector"]
+    #[derive(Debug)]
     pub struct InstallGuard {
         prev: Option<TraceCollector>,
     }
@@ -184,6 +199,14 @@ mod imp {
     #[must_use = "a span records its duration when dropped; bind it with `let _span = ...`"]
     pub struct SpanGuard {
         inner: Option<OpenSpan>,
+    }
+
+    impl std::fmt::Debug for SpanGuard {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("SpanGuard")
+                .field("name", &self.inner.as_ref().map(|s| s.name.as_str()))
+                .finish_non_exhaustive()
+        }
     }
 
     struct OpenSpan {
@@ -261,7 +284,7 @@ mod imp {
 
     /// Inert stand-in: collects nothing, [`finish`](TraceCollector::finish)
     /// returns an empty trace.
-    #[derive(Clone, Default)]
+    #[derive(Debug, Clone, Default)]
     pub struct TraceCollector;
 
     impl TraceCollector {
@@ -278,6 +301,7 @@ mod imp {
 
     /// Inert guard.
     #[must_use = "dropping the guard immediately uninstalls the collector"]
+    #[derive(Debug)]
     pub struct InstallGuard(());
 
     /// No-op.
@@ -298,6 +322,7 @@ mod imp {
 
     /// Inert guard.
     #[must_use = "a span records its duration when dropped; bind it with `let _span = ...`"]
+    #[derive(Debug)]
     pub struct SpanGuard(());
 
     impl SpanGuard {

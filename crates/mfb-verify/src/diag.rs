@@ -51,7 +51,7 @@ impl fmt::Display for Severity {
 }
 
 /// A dependency edge of the sequencing graph, used as a diagnostic anchor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct EdgeRef {
     /// Producing operation.
     pub parent: OpId,
@@ -66,7 +66,10 @@ impl fmt::Display for EdgeRef {
 }
 
 /// Where in the synthesis artifact a diagnostic points.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Locations order by variant (chip first) then payload, giving reports a
+/// total, deterministic diagnostic order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Location {
     /// The artifact as a whole (shape mismatches, floorplan legality).
     Chip,
@@ -147,6 +150,25 @@ pub struct VerifyReport {
 }
 
 impl VerifyReport {
+    /// Builds a report from raw findings in canonical order: most severe
+    /// first, ties broken by rule id, message, location and window, with
+    /// exact duplicates removed. Every checker in the workspace funnels its
+    /// findings through here, so report output is deterministic and
+    /// deduplicated regardless of which rules ran, in which order, or on
+    /// how many threads.
+    pub fn sorted(mut diagnostics: Vec<Diagnostic>) -> Self {
+        diagnostics.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then_with(|| a.rule.cmp(&b.rule))
+                .then_with(|| a.message.cmp(&b.message))
+                .then_with(|| a.location.cmp(&b.location))
+                .then_with(|| a.window.cmp(&b.window))
+        });
+        diagnostics.dedup();
+        VerifyReport { diagnostics }
+    }
+
     /// The worst severity present, or `None` for an empty report.
     pub fn max_severity(&self) -> Option<Severity> {
         self.diagnostics.iter().map(|d| d.severity).max()

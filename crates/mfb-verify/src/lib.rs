@@ -41,6 +41,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod diag;
 pub mod input;
@@ -49,7 +51,7 @@ pub mod rules;
 
 pub use diag::{Diagnostic, EdgeRef, Location, Severity, VerifyReport};
 pub use input::VerifyInput;
-pub use render::{render_json, render_pretty, render_sarif};
+pub use render::{render_json, render_pretty, render_sarif, render_sarif_with};
 pub use rules::{
     rule_for_schedule_violation, rule_for_sim_violation, Rule, RuleInfo, RuleRegistry,
 };
@@ -58,7 +60,7 @@ pub use rules::{
 pub mod prelude {
     pub use crate::diag::{Diagnostic, EdgeRef, Location, Severity, VerifyReport};
     pub use crate::input::VerifyInput;
-    pub use crate::render::{render_json, render_pretty, render_sarif};
+    pub use crate::render::{render_json, render_pretty, render_sarif, render_sarif_with};
     pub use crate::rules::{
         rule_for_schedule_violation, rule_for_sim_violation, Rule, RuleInfo, RuleRegistry,
     };

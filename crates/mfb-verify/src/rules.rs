@@ -688,27 +688,34 @@ impl RuleRegistry {
         self.disabled.remove(id);
     }
 
+    /// Disables every rule whose id is **not** in `ids` (the `--only`
+    /// filter). Unknown ids in `ids` are ignored; combine with
+    /// [`rule`](Self::rule) to reject them up front.
+    pub fn retain_only<'i>(&mut self, ids: impl IntoIterator<Item = &'i str>) {
+        let keep: BTreeSet<&str> = ids.into_iter().collect();
+        let all: Vec<&'static str> = self.rules().map(|r| r.id).collect();
+        for id in all {
+            if !keep.contains(id) {
+                self.disable(id);
+            }
+        }
+    }
+
     /// `true` when the rule with the given id will run.
     pub fn is_enabled(&self, id: &str) -> bool {
         !self.disabled.contains(id)
     }
 
-    /// Runs every enabled rule and collects the findings, most severe
-    /// first (ties broken by rule id, then message, for stable output).
+    /// Runs every enabled rule and collects the findings in the canonical
+    /// deduplicated order of [`VerifyReport::sorted`].
     pub fn run(&self, input: &VerifyInput<'_>) -> VerifyReport {
-        let mut diagnostics: Vec<Diagnostic> = self
-            .rules
-            .iter()
-            .filter(|r| self.is_enabled(r.info().id))
-            .flat_map(|r| r.check(input))
-            .collect();
-        diagnostics.sort_by(|a, b| {
-            b.severity
-                .cmp(&a.severity)
-                .then_with(|| a.rule.cmp(&b.rule))
-                .then_with(|| a.message.cmp(&b.message))
-        });
-        VerifyReport { diagnostics }
+        VerifyReport::sorted(
+            self.rules
+                .iter()
+                .filter(|r| self.is_enabled(r.info().id))
+                .flat_map(|r| r.check(input))
+                .collect(),
+        )
     }
 }
 
