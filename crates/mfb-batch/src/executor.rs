@@ -46,6 +46,12 @@ pub struct BatchJob {
     pub defects: DefectMap,
     /// Wash-time model; the paper-calibrated log-linear model by default.
     pub wash: Arc<dyn WashModel>,
+    /// Execution budget (deadline and/or cancellation); unlimited by
+    /// default. A tripped budget surfaces as
+    /// [`SynthesisError::DeadlineExceeded`] or
+    /// [`SynthesisError::Cancelled`] in the job's outcome — it never
+    /// perturbs the results of jobs that finish in time.
+    pub budget: Budget,
 }
 
 impl BatchJob {
@@ -63,7 +69,15 @@ impl BatchJob {
             config,
             defects: DefectMap::pristine(),
             wash: Arc::new(LogLinearWash::paper_calibrated()),
+            budget: Budget::unlimited(),
         }
+    }
+
+    /// Replaces the execution budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Replaces the defect map.
@@ -255,16 +269,21 @@ pub fn run_batch(jobs: &[BatchJob], cache: &StageCache) -> BatchRun {
                                 // Errors and panics are deliberately dropped
                                 // here: the solve task replays them through the
                                 // same cache (or recomputes, if a panic left no
-                                // entry) and reports them deterministically.
-                                let _ = catch_unwind(AssertUnwindSafe(|| {
-                                    let _ = job.synthesizer().prepare_cached(
-                                        &job.graph,
-                                        &job.components,
-                                        &*job.wash,
-                                        &job.defects,
-                                        cache,
-                                    );
-                                }));
+                                // entry) and reports them deterministically. A
+                                // job whose budget has already tripped skips
+                                // prep outright — its solve fails at the first
+                                // checkpoint anyway.
+                                if job.budget.check().is_ok() {
+                                    let _ = catch_unwind(AssertUnwindSafe(|| {
+                                        let _ = job.synthesizer().prepare_cached(
+                                            &job.graph,
+                                            &job.components,
+                                            &*job.wash,
+                                            &job.defects,
+                                            cache,
+                                        );
+                                    }));
+                                }
                                 lock(&records[i]).prep_ms = t0.elapsed().as_secs_f64() * 1e3;
                                 let mut st = lock(state);
                                 st.ready.push(Reverse(i));
@@ -280,12 +299,13 @@ pub fn run_batch(jobs: &[BatchJob], cache: &StageCache) -> BatchRun {
                                 );
                                 let t0 = std::time::Instant::now();
                                 let result = catch_unwind(AssertUnwindSafe(|| {
-                                    job.synthesizer().synthesize_cached_with_defects(
+                                    job.synthesizer().synthesize_with(
                                         &job.graph,
                                         &job.components,
                                         &*job.wash,
                                         &job.defects,
-                                        cache,
+                                        Some(cache),
+                                        &job.budget,
                                     )
                                 }));
                                 {

@@ -33,6 +33,11 @@
 //! * `"repeat"` — clone the job *k* times (names gain a `#k` suffix when
 //!   `k > 1`); identical clones share every cache key, so repeats are the
 //!   simplest way to exercise warm-cache throughput.
+//!
+//! Parsing is strict: entries must be objects, fields outside the list
+//! above are rejected by name, out-of-range values (`"repeat": 0`,
+//! `"t_c_secs": 0`) are typed schema errors, and JSON syntax errors carry
+//! `line L, column C` positions into the document.
 
 use crate::executor::BatchJob;
 use mfb_core::prelude::*;
@@ -70,10 +75,37 @@ fn schema(msg: impl Into<String>) -> ManifestError {
     ManifestError::Schema(msg.into())
 }
 
+/// Every field a job entry may carry. Anything else is rejected with a
+/// pointed error instead of being silently ignored — a typo like
+/// `"sead": 7` would otherwise change results without a trace.
+const KNOWN_FIELDS: &[&str] = &[
+    "bench", "assay", "name", "flow", "seed", "t_c_secs", "defects", "repeat",
+];
+
+/// Rewrites the JSON shim's `at byte N` positions as `line L, column C`
+/// so errors point into the manifest the way editors count.
+fn locate_json_error(text: &str, msg: &str) -> String {
+    let Some(idx) = msg.rfind("byte ") else {
+        return msg.to_owned();
+    };
+    let digits: String = msg[idx + 5..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    let Ok(pos) = digits.parse::<usize>() else {
+        return msg.to_owned();
+    };
+    let pos = pos.min(text.len());
+    let line = 1 + text[..pos].bytes().filter(|&b| b == b'\n').count();
+    let column = 1 + text[..pos].rfind('\n').map_or(pos, |nl| pos - nl - 1);
+    format!("{msg} (line {line}, column {column})")
+}
+
 /// Parses a manifest document into jobs, in document order (repeats
 /// expand in place). `base_dir` anchors relative `"assay"` paths.
 pub fn parse_manifest(text: &str, base_dir: &Path) -> Result<Vec<BatchJob>, ManifestError> {
-    let doc: Value = serde_json::from_str(text).map_err(|e| ManifestError::Json(e.to_string()))?;
+    let doc: Value = serde_json::from_str(text)
+        .map_err(|e| ManifestError::Json(locate_json_error(text, &e.to_string())))?;
     let entries = match doc.get("jobs") {
         Some(jobs) => jobs
             .as_array()
@@ -121,6 +153,18 @@ fn parse_entry(
     base_dir: &Path,
     library: &ComponentLibrary,
 ) -> Result<BatchJob, ManifestError> {
+    let fields = entry
+        .as_object()
+        .ok_or_else(|| schema(format!("job {idx}: each entry must be a JSON object")))?;
+    for (key, _) in fields {
+        if !KNOWN_FIELDS.contains(&key.as_str()) {
+            return Err(schema(format!(
+                "job {idx}: unknown field {key:?} (expected one of {})",
+                KNOWN_FIELDS.join(", ")
+            )));
+        }
+    }
+
     let bench = entry.get("bench").map(|v| {
         v.as_str()
             .map(str::to_owned)
@@ -195,14 +239,12 @@ fn parse_entry(
         config = config.with_seed(seed);
     }
     if let Some(v) = entry.get("t_c_secs") {
+        // Zero is rejected along with negatives: a zero transport constant
+        // collapses every Eq. (5) window and is never what anyone meant.
         let secs = v
             .as_f64()
-            .filter(|s| s.is_finite() && *s >= 0.0)
-            .ok_or_else(|| {
-                schema(format!(
-                    "job {idx}: \"t_c_secs\" must be a non-negative number"
-                ))
-            })?;
+            .filter(|s| s.is_finite() && *s > 0.0)
+            .ok_or_else(|| schema(format!("job {idx}: \"t_c_secs\" must be a positive number")))?;
         config.t_c = Duration::from_secs_f64(secs);
     }
 
@@ -280,6 +322,36 @@ mod tests {
         assert!(err(r#"[ { "bench": "PCR", "flow": "fancy" } ]"#).contains("\"flow\""));
         assert!(err(r#"[ { "bench": "PCR", "repeat": 0 } ]"#).contains("at least 1"));
         assert!(err("not json").contains("not valid JSON"));
+    }
+
+    #[test]
+    fn rejects_unknown_fields_by_name() {
+        let err = parse_manifest(r#"[ { "bench": "PCR", "sead": 7 } ]"#, Path::new("."))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown field \"sead\""), "{err}");
+        assert!(err.contains("seed"), "should list the legal fields: {err}");
+    }
+
+    #[test]
+    fn rejects_non_object_entries_and_zero_t_c() {
+        let err = |text: &str| {
+            parse_manifest(text, Path::new("."))
+                .unwrap_err()
+                .to_string()
+        };
+        assert!(err(r#"[ 42 ]"#).contains("must be a JSON object"));
+        assert!(err(r#"[ { "bench": "PCR", "t_c_secs": 0 } ]"#).contains("positive number"));
+        assert!(err(r#"[ { "bench": "PCR", "t_c_secs": -1.0 } ]"#).contains("positive number"));
+    }
+
+    #[test]
+    fn json_errors_carry_line_and_column() {
+        let text = "{\n  \"jobs\": [\n    { \"bench\": \"PCR\" },,\n  ]\n}";
+        let err = parse_manifest(text, Path::new(".")).unwrap_err();
+        let msg = err.to_string();
+        assert!(matches!(err, ManifestError::Json(_)), "{msg}");
+        assert!(msg.contains("line 3"), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! Fixture-driven rejection tests for the manifest parser.
+//!
+//! Every file under `tests/fixtures/` is a manifest a user could
+//! plausibly write by accident. The contract under test: each one is
+//! rejected with the *right* [`ManifestError`] variant and a message that
+//! points at the offending entry — never a panic, never a silently
+//! misconfigured job.
+
+use mfb_batch::prelude::*;
+use std::path::Path;
+
+fn load(name: &str) -> Result<Vec<BatchJob>, ManifestError> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let text =
+        std::fs::read_to_string(dir.join(name)).unwrap_or_else(|e| panic!("fixture {name}: {e}"));
+    parse_manifest(&text, &dir)
+}
+
+#[test]
+fn bad_syntax_is_a_json_error_with_a_position() {
+    let err = load("bad_syntax.json").unwrap_err();
+    assert!(matches!(err, ManifestError::Json(_)), "{err}");
+    let msg = err.to_string();
+    assert!(msg.contains("line 3"), "position missing: {msg}");
+}
+
+#[test]
+fn unknown_field_names_the_field_and_the_entry() {
+    let err = load("unknown_field.json").unwrap_err();
+    assert!(matches!(err, ManifestError::Schema(_)), "{err}");
+    let msg = err.to_string();
+    assert!(msg.contains("job 0") && msg.contains("\"sead\""), "{msg}");
+}
+
+#[test]
+fn zero_t_c_is_out_of_range() {
+    let err = load("zero_t_c.json").unwrap_err();
+    assert!(matches!(err, ManifestError::Schema(_)), "{err}");
+    assert!(err.to_string().contains("t_c_secs"), "{err}");
+}
+
+#[test]
+fn zero_repeat_is_out_of_range() {
+    let err = load("zero_repeat.json").unwrap_err();
+    assert!(matches!(err, ManifestError::Schema(_)), "{err}");
+    assert!(err.to_string().contains("at least 1"), "{err}");
+}
+
+#[test]
+fn missing_assay_file_is_an_assay_error_with_the_path() {
+    let err = load("missing_assay.json").unwrap_err();
+    assert!(matches!(err, ManifestError::Assay(_)), "{err}");
+    assert!(err.to_string().contains("no_such_file.txt"), "{err}");
+}
+
+#[test]
+fn non_object_entry_is_rejected() {
+    let err = load("non_object_entry.json").unwrap_err();
+    assert!(matches!(err, ManifestError::Schema(_)), "{err}");
+    assert!(err.to_string().contains("JSON object"), "{err}");
+}

@@ -73,6 +73,8 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<ExitCode, String> {
         "faults" => cmd_faults(rest).map(ok),
         "bench" => cmd_bench(rest).map(ok),
         "batch" => cmd_batch(rest),
+        "serve" => cmd_serve(rest).map(ok),
+        "client" => cmd_client(rest).map(ok),
         "trace" => cmd_trace(rest),
         "ablation" => cmd_ablation().map(ok),
         "help" | "--help" | "-h" => {
@@ -199,6 +201,8 @@ USAGE:
         --gantt                    print the schedule Gantt chart
         --heat                     print the channel-occupancy heatmap
         --save <file.json>         archive the full solution as JSON
+        --timeout <secs>           abort with `deadline exceeded` if
+                                   synthesis runs past the budget
     mfb run-file <file.assay>      synthesize a user-defined assay
                                    (same options as `run`; the file must
                                    contain an `alloc` line)
@@ -248,6 +252,8 @@ USAGE:
         --trials <n>               defect maps per severity (default: 5)
         --seed <s>                 base RNG seed (default: 1)
         --flow ours|ba             which flow (default: ours)
+        --timeout <secs>           per-trial resynthesis budget; expired
+                                   trials count as non-survivors
     mfb bench [options]            tracked perf baseline: time the
                                    optimized SA and router against their
                                    frozen references on every Table-I
@@ -266,6 +272,27 @@ USAGE:
                                    untimed pass before the timed batch
         --json                     emit the report as JSON
         --out <file>               write the report to a file
+        --timeout <secs>           per-job budget; expired jobs fail with
+                                   a typed `deadline exceeded` error
+    mfb serve [options]            long-running synthesis daemon speaking
+                                   line-delimited JSON (submit/status/
+                                   result/cancel/stats/drain); SIGTERM or
+                                   `drain` finishes queued work, writes a
+                                   final cache snapshot, and exits
+        --listen <addr>            host:port, or a path (with a `/`) for
+                                   a Unix socket (default: 127.0.0.1:7411)
+        --cache-dir <dir>          persist the stage cache here; restarts
+                                   over the same dir start warm
+        --workers <n>              worker threads (default: MFB_THREADS)
+        --queue-cap <n>            bounded queue size (default: 64)
+        --client-cap <n>           per-client in-flight cap (default: 8)
+        --retry-max <n>            attempt cap for transient (panic)
+                                   failures (default: 3)
+        --snapshot-every <n>       jobs between cache snapshots
+                                   (default: 1)
+    mfb client <addr> [request]    send one JSON request line to a daemon
+                                   and print the response; with no
+                                   request, forward stdin line by line
     mfb trace <command> [args...]  run any command with structured
                                    tracing on: per-stage spans, SA/A*
                                    counters, cache hit/miss and recovery
@@ -333,6 +360,14 @@ fn cmd_fig(which: u8) -> Result<(), String> {
 }
 
 fn synthesize(b: &Benchmark, flow: &str) -> Result<(ComponentSet, Solution), String> {
+    synthesize_budgeted(b, flow, &Budget::unlimited())
+}
+
+fn synthesize_budgeted(
+    b: &Benchmark,
+    flow: &str,
+    budget: &Budget,
+) -> Result<(ComponentSet, Solution), String> {
     let comps = b.components(&ComponentLibrary::default());
     let synth = match flow {
         "ours" => Synthesizer::paper_dcsa(),
@@ -340,9 +375,36 @@ fn synthesize(b: &Benchmark, flow: &str) -> Result<(ComponentSet, Solution), Str
         other => return Err(format!("unknown flow `{other}` (expected ours|ba)")),
     };
     let solution = synth
-        .synthesize(&b.graph, &comps, &wash())
+        .synthesize_with(
+            &b.graph,
+            &comps,
+            &wash(),
+            &DefectMap::pristine(),
+            None,
+            budget,
+        )
         .map_err(|e| e.to_string())?;
     Ok((comps, solution))
+}
+
+/// Parses the value of a `--timeout <secs>` flag: a finite, positive
+/// number of seconds.
+fn parse_timeout_secs(value: Option<&String>) -> Result<f64, String> {
+    let raw = value.ok_or("--timeout needs a number of seconds")?;
+    let secs: f64 = raw.parse().map_err(|e| format!("--timeout: {e}"))?;
+    if !secs.is_finite() || secs <= 0.0 {
+        return Err("--timeout must be a positive number of seconds".into());
+    }
+    Ok(secs)
+}
+
+/// A fresh [`Budget`] for `timeout_secs` (the deadline starts now), or
+/// an unlimited one when the flag was absent.
+fn budget_for(timeout_secs: Option<f64>) -> Budget {
+    match timeout_secs {
+        Some(s) => Budget::with_timeout(std::time::Duration::from_secs_f64(s)),
+        None => Budget::unlimited(),
+    }
 }
 
 fn print_solution(name: &str, comps: &ComponentSet, solution: &Solution) {
@@ -385,6 +447,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let mut want_gantt = false;
     let mut want_heat = false;
     let mut save: Option<String> = None;
+    let mut timeout: Option<f64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -394,6 +457,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             "--gantt" => want_gantt = true,
             "--heat" => want_heat = true,
             "--save" => save = Some(it.next().ok_or("--save needs a file")?.clone()),
+            "--timeout" => timeout = Some(parse_timeout_secs(it.next())?),
             other if bench.is_none() => bench = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`")),
         }
@@ -401,7 +465,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let bench = bench.ok_or("usage: mfb run <benchmark> [--flow ours|ba]")?;
     let b = benchmark_by_name(&bench)
         .ok_or_else(|| format!("unknown benchmark `{bench}`; see `mfb list`"))?;
-    let (comps, solution) = synthesize(&b, &flow)?;
+    let (comps, solution) = synthesize_budgeted(&b, &flow, &budget_for(timeout))?;
     print_solution(b.name, &comps, &solution);
 
     let report = solution.verify(&b.graph, &comps, &wash());
@@ -457,6 +521,7 @@ fn cmd_run_file(args: &[String]) -> Result<ExitCode, String> {
     let mut svg_out: Option<String> = None;
     let mut want_map = false;
     let mut want_gantt = false;
+    let mut timeout: Option<f64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -464,6 +529,7 @@ fn cmd_run_file(args: &[String]) -> Result<ExitCode, String> {
             "--svg" => svg_out = Some(it.next().ok_or("--svg needs a file")?.clone()),
             "--map" => want_map = true,
             "--gantt" => want_gantt = true,
+            "--timeout" => timeout = Some(parse_timeout_secs(it.next())?),
             other if file.is_none() => file = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`")),
         }
@@ -481,7 +547,14 @@ fn cmd_run_file(args: &[String]) -> Result<ExitCode, String> {
         other => return Err(format!("unknown flow `{other}` (expected ours|ba)")),
     };
     let solution = synth
-        .synthesize(&assay.graph, &comps, &wash())
+        .synthesize_with(
+            &assay.graph,
+            &comps,
+            &wash(),
+            &DefectMap::pristine(),
+            None,
+            &budget_for(timeout),
+        )
         .map_err(|e| e.to_string())?;
     print_solution(assay.graph.name(), &comps, &solution);
     let report = solution.verify(&assay.graph, &comps, &wash());
@@ -833,11 +906,13 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
     let mut trials: u32 = 5;
     let mut seed: u64 = 1;
     let mut flow = "ours".to_string();
+    let mut timeout: Option<f64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--sweep" => sweep = true,
             "--bench" => bench = Some(it.next().ok_or("--bench needs a name")?.clone()),
+            "--timeout" => timeout = Some(parse_timeout_secs(it.next())?),
             "--trials" => {
                 trials = it
                     .next()
@@ -928,8 +1003,24 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
                 let defects = DefectMap::sample(grid, &comps, cell_p, comp_p, trial_seed);
 
                 // Resynthesize around the defects with the full ladder.
-                let outcome =
-                    synth.synthesize_resilient(&b.graph, &comps, &wash(), &defects, &policy);
+                // Each trial gets a fresh budget (deadline measured from
+                // its own start) and a private cache; an expired trial
+                // simply yields no survivor, so the sweep's accounting
+                // stays well-defined under `--timeout`.
+                let outcome = match timeout {
+                    Some(secs) => synth.synthesize_resilient_budgeted(
+                        &b.graph,
+                        &comps,
+                        &wash(),
+                        &defects,
+                        &policy,
+                        &StageCache::new(),
+                        &budget_for(Some(secs)),
+                    ),
+                    None => {
+                        synth.synthesize_resilient(&b.graph, &comps, &wash(), &defects, &policy)
+                    }
+                };
                 let survivor = outcome.solution().map(|sol| {
                     let completion = sol.routing.completion().as_secs_f64();
                     let degradation =
@@ -1081,12 +1172,14 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     let mut json = false;
     let mut warm = false;
     let mut out: Option<String> = None;
+    let mut timeout: Option<f64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
             "--warm" => warm = true,
             "--out" => out = Some(it.next().ok_or("--out needs a path")?.clone()),
+            "--timeout" => timeout = Some(parse_timeout_secs(it.next())?),
             "--threads" => {
                 let n: usize = it
                     .next()
@@ -1111,7 +1204,18 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
         .filter(|p| !p.as_os_str().is_empty())
         .unwrap_or_else(|| std::path::Path::new("."))
         .to_path_buf();
-    let jobs = parse_manifest(&text, &base_dir).map_err(|e| e.to_string())?;
+    let mut jobs = parse_manifest(&text, &base_dir).map_err(|e| e.to_string())?;
+    // The budget's deadline starts now and is shared by the whole batch:
+    // every job's checkpoints poll the same wall-clock cutoff, so a slow
+    // batch degrades into typed per-job `deadline exceeded` failures
+    // instead of hanging the invocation.
+    if timeout.is_some() {
+        let budget = budget_for(timeout);
+        jobs = jobs
+            .into_iter()
+            .map(|j| j.with_budget(budget.clone()))
+            .collect();
+    }
 
     let cache = StageCache::new();
     if warm {
@@ -1180,6 +1284,157 @@ fn batch_text(report: &mfb_batch::prelude::BatchReport) -> String {
         report.cache.schedule_validations
     );
     out
+}
+
+/// `mfb serve`: run the crash-safe synthesis daemon until SIGTERM,
+/// SIGINT, or a `drain` request, then print the shutdown summary.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use mfb_serve::prelude::*;
+
+    let mut cfg = ServerConfig {
+        listen: "127.0.0.1:7411".to_owned(),
+        ..ServerConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--listen" => cfg.listen = it.next().ok_or("--listen needs an address")?.clone(),
+            "--cache-dir" => {
+                cfg.cache_dir = Some(std::path::PathBuf::from(
+                    it.next().ok_or("--cache-dir needs a directory")?,
+                ));
+            }
+            "--workers" => cfg.workers = parse_num(it.next(), "--workers")?,
+            "--queue-cap" => {
+                cfg.queue_cap = parse_num(it.next(), "--queue-cap")?;
+                if cfg.queue_cap == 0 {
+                    return Err("--queue-cap must be at least 1".into());
+                }
+            }
+            "--client-cap" => {
+                cfg.client_cap = parse_num(it.next(), "--client-cap")?;
+                if cfg.client_cap == 0 {
+                    return Err("--client-cap must be at least 1".into());
+                }
+            }
+            "--retry-max" => cfg.retry_max = parse_num(it.next(), "--retry-max")?,
+            "--snapshot-every" => {
+                cfg.snapshot_every = parse_num(it.next(), "--snapshot-every")?;
+                if cfg.snapshot_every == 0 {
+                    return Err("--snapshot-every must be at least 1".into());
+                }
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+
+    let server = Server::bind(cfg).map_err(|e| format!("bind: {e}"))?;
+    match server.local_addr() {
+        Some(addr) => eprintln!("mfb serve: listening on {addr}"),
+        None => eprintln!("mfb serve: listening"),
+    }
+    let summary = server.run().map_err(|e| format!("serve: {e}"))?;
+    eprintln!(
+        "mfb serve: drained; {} done, {} failed{}{}",
+        summary.done,
+        summary.failed,
+        match summary.snapshot_entries {
+            Some(n) => format!(", {n} cache entries snapshotted"),
+            None => String::new(),
+        },
+        if summary.loaded.imported + summary.loaded.dropped > 0 {
+            format!(
+                " (started with {} imported / {} dropped)",
+                summary.loaded.imported, summary.loaded.dropped
+            )
+        } else {
+            String::new()
+        }
+    );
+    Ok(())
+}
+
+fn parse_num<T>(value: Option<&String>, flag: &str) -> Result<T, String>
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    value
+        .ok_or_else(|| format!("{flag} needs a number"))?
+        .parse()
+        .map_err(|e| format!("{flag}: {e}"))
+}
+
+/// `mfb client <addr> [request]`: one-shot (or stdin-driven) client for
+/// the daemon's line-delimited JSON protocol. Responses are printed one
+/// per line, exactly as received.
+fn cmd_client(args: &[String]) -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut request: Option<String> = None;
+    for a in args {
+        if addr.is_none() {
+            addr = Some(a.clone());
+        } else if request.is_none() {
+            request = Some(a.clone());
+        } else {
+            return Err(format!("unexpected argument `{a}`"));
+        }
+    }
+    let addr = addr.ok_or("usage: mfb client <addr> [request-json]")?;
+
+    // Same rule the server uses: a `/` means a Unix-socket path.
+    if addr.contains('/') {
+        #[cfg(unix)]
+        {
+            let stream = std::os::unix::net::UnixStream::connect(&addr)
+                .map_err(|e| format!("{addr}: {e}"))?;
+            return client_session(stream, request);
+        }
+        #[cfg(not(unix))]
+        return Err("unix-socket paths are not supported on this platform".into());
+    }
+    let stream = std::net::TcpStream::connect(addr.as_str()).map_err(|e| format!("{addr}: {e}"))?;
+    client_session(stream, request)
+}
+
+fn client_session<S: std::io::Read + std::io::Write>(
+    stream: S,
+    request: Option<String>,
+) -> Result<(), String> {
+    use std::io::{BufRead, BufReader};
+    // One BufReader wraps the stream; writes go through `get_mut` (the
+    // buffer only holds unread response bytes, so this is safe).
+    let mut conn = BufReader::new(stream);
+    let mut roundtrip = |line: &str| -> Result<(), String> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Ok(());
+        }
+        conn.get_mut()
+            .write_all(format!("{line}\n").as_bytes())
+            .and_then(|()| conn.get_mut().flush())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut response = String::new();
+        let n = conn
+            .read_line(&mut response)
+            .map_err(|e| format!("recv: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".into());
+        }
+        print!("{response}");
+        Ok(())
+    };
+    match request {
+        Some(line) => roundtrip(&line),
+        None => {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                let line = line.map_err(|e| format!("stdin: {e}"))?;
+                roundtrip(&line)?;
+            }
+            Ok(())
+        }
+    }
 }
 
 fn cmd_audit(args: &[String]) -> Result<(), String> {

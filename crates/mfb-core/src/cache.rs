@@ -143,6 +143,48 @@ impl std::ops::Sub for CacheStats {
     }
 }
 
+/// One persistable cache entry: the flattened on-disk form of a single
+/// finished, successful slot. Exactly one payload field is `Some`,
+/// selected by [`stage`](SnapshotEntry::stage) (`"routing"` and
+/// `"optimize"` share the `routing` field). Produced by
+/// [`StageCache::export_entries`], consumed by
+/// [`StageCache::import_entry`]; errors and in-flight slots are never
+/// part of a snapshot.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SnapshotEntry {
+    /// Which stage map the entry belongs to: `"schedule"`, `"netlist"`,
+    /// `"placement"`, `"routing"`, or `"optimize"`.
+    pub stage: String,
+    /// The content-hash key of the slot, as produced by the stage's key
+    /// builder.
+    pub key: u64,
+    /// The stage's *output* content hash for stages that record one
+    /// (schedule, placement); zero otherwise.
+    pub output_hash: u64,
+    /// Payload of a `"schedule"` entry.
+    pub schedule: Option<Schedule>,
+    /// Payload of a `"netlist"` entry.
+    pub netlist: Option<NetList>,
+    /// Payload of a `"placement"` entry.
+    pub placement: Option<Placement>,
+    /// Payload of a `"routing"` or `"optimize"` entry.
+    pub routing: Option<Routing>,
+}
+
+impl SnapshotEntry {
+    fn new(stage: &str, key: u64, output_hash: u64) -> Self {
+        SnapshotEntry {
+            stage: stage.to_owned(),
+            key,
+            output_hash,
+            schedule: None,
+            netlist: None,
+            placement: None,
+            routing: None,
+        }
+    }
+}
+
 /// A slot is either a finished result or a computation in flight whose
 /// requesters should wait rather than duplicate the work.
 enum Slot<T> {
@@ -230,12 +272,20 @@ impl StageCache {
     /// block until the computer finishes; if it panics instead, the
     /// in-flight marker is released and a waiter takes over the
     /// computation.
+    ///
+    /// A value `cacheable` rejects is returned but **not** stored, and the
+    /// in-flight marker is released exactly as after a panic: waiters wake
+    /// and recompute instead of observing it. Budget-interrupted stage
+    /// results go through this path — they reflect one request's deadline,
+    /// not the inputs, so caching them would poison every later request
+    /// for the same key.
     fn get_or_compute<T: Clone>(
         &self,
         stage: &'static str,
         map: fn(&mut CacheState) -> &mut HashMap<u64, Slot<T>>,
         count: fn(&mut CacheStats, bool),
         key: ContentHash,
+        cacheable: impl FnOnce(&T) -> bool,
         compute: impl FnOnce() -> T,
     ) -> T {
         let k = key.as_u64();
@@ -294,12 +344,153 @@ impl StageCache {
 
         let v = compute();
 
-        let mut st = self.lock();
-        map(&mut st).insert(k, Slot::Ready(v.clone()));
-        reservation.armed = false;
-        drop(st);
-        self.ready.notify_all();
+        if cacheable(&v) {
+            let mut st = self.lock();
+            map(&mut st).insert(k, Slot::Ready(v.clone()));
+            reservation.armed = false;
+            drop(st);
+            self.ready.notify_all();
+        } else {
+            emit_cache_event(stage, "uncacheable", false);
+        }
+        // An uncacheable value leaves the reservation armed; its drop (here)
+        // removes the in-flight marker and wakes waiters to recompute.
         v
+    }
+
+    /// Number of finished, successful entries currently stored — the
+    /// number [`export_entries`](StageCache::export_entries) would return.
+    pub fn ready_entries(&self) -> usize {
+        fn ready<T>(m: &HashMap<u64, Slot<T>>, ok: impl Fn(&T) -> bool) -> usize {
+            m.values()
+                .filter(|s| matches!(s, Slot::Ready(v) if ok(v)))
+                .count()
+        }
+        let st = self.lock();
+        ready(&st.schedules, |e| e.is_ok())
+            + ready(&st.netlists, |_| true)
+            + ready(&st.places, |e| e.is_ok())
+            + ready(&st.routes, |e| e.is_ok())
+            + ready(&st.optimized, |_| true)
+    }
+
+    /// Every finished, **successful** entry as a persistable snapshot,
+    /// sorted by `(stage, key)` so exports are deterministic. Errors are
+    /// not exported even though they are cached in memory: a persisted
+    /// error could outlive the configuration that produced it, and
+    /// recomputing one is cheap (it is the success path that is slow).
+    pub fn export_entries(&self) -> Vec<SnapshotEntry> {
+        let mut out = Vec::new();
+        {
+            let st = self.lock();
+            for (k, slot) in &st.schedules {
+                if let Slot::Ready(Ok((s, h))) = slot {
+                    let mut e = SnapshotEntry::new("schedule", *k, h.as_u64());
+                    e.schedule = Some((**s).clone());
+                    out.push(e);
+                }
+            }
+            for (k, slot) in &st.netlists {
+                if let Slot::Ready(n) = slot {
+                    let mut e = SnapshotEntry::new("netlist", *k, 0);
+                    e.netlist = Some((**n).clone());
+                    out.push(e);
+                }
+            }
+            for (k, slot) in &st.places {
+                if let Slot::Ready(Ok((p, h))) = slot {
+                    let mut e = SnapshotEntry::new("placement", *k, h.as_u64());
+                    e.placement = Some((**p).clone());
+                    out.push(e);
+                }
+            }
+            for (k, slot) in &st.routes {
+                if let Slot::Ready(Ok(r)) = slot {
+                    let mut e = SnapshotEntry::new("routing", *k, 0);
+                    e.routing = Some((**r).clone());
+                    out.push(e);
+                }
+            }
+            for (k, slot) in &st.optimized {
+                if let Slot::Ready(r) = slot {
+                    let mut e = SnapshotEntry::new("optimize", *k, 0);
+                    e.routing = Some((**r).clone());
+                    out.push(e);
+                }
+            }
+        }
+        out.sort_by(|a, b| (a.stage.as_str(), a.key).cmp(&(b.stage.as_str(), b.key)));
+        out
+    }
+
+    /// Installs one snapshot entry into its stage map, if that slot is
+    /// vacant. Returns `false` — changing nothing — when the entry names
+    /// an unknown stage, is missing its payload, or the slot is already
+    /// occupied (ready *or* in flight). A malformed entry is therefore a
+    /// recompute, never an error: snapshot corruption cannot poison the
+    /// cache. Imported schedules are **not** marked validated; the
+    /// independent validator re-runs on first use, so even a plausible
+    /// but wrong persisted schedule is caught.
+    pub fn import_entry(&self, entry: &SnapshotEntry) -> bool {
+        let mut st = self.lock();
+        let k = entry.key;
+        match entry.stage.as_str() {
+            "schedule" => {
+                let Some(s) = &entry.schedule else {
+                    return false;
+                };
+                if st.schedules.contains_key(&k) {
+                    return false;
+                }
+                let payload = (
+                    Arc::new(s.clone()),
+                    ContentHash::from_u64(entry.output_hash),
+                );
+                st.schedules.insert(k, Slot::Ready(Ok(payload)));
+            }
+            "netlist" => {
+                let Some(n) = &entry.netlist else {
+                    return false;
+                };
+                if st.netlists.contains_key(&k) {
+                    return false;
+                }
+                st.netlists.insert(k, Slot::Ready(Arc::new(n.clone())));
+            }
+            "placement" => {
+                let Some(p) = &entry.placement else {
+                    return false;
+                };
+                if st.places.contains_key(&k) {
+                    return false;
+                }
+                let payload = (
+                    Arc::new(p.clone()),
+                    ContentHash::from_u64(entry.output_hash),
+                );
+                st.places.insert(k, Slot::Ready(Ok(payload)));
+            }
+            "routing" => {
+                let Some(r) = &entry.routing else {
+                    return false;
+                };
+                if st.routes.contains_key(&k) {
+                    return false;
+                }
+                st.routes.insert(k, Slot::Ready(Ok(Arc::new(r.clone()))));
+            }
+            "optimize" => {
+                let Some(r) = &entry.routing else {
+                    return false;
+                };
+                if st.optimized.contains_key(&k) {
+                    return false;
+                }
+                st.optimized.insert(k, Slot::Ready(Arc::new(r.clone())));
+            }
+            _ => return false,
+        }
+        true
     }
 
     /// Runs `run` if no schedule with output hash `schedule_h` has been
@@ -522,6 +713,7 @@ impl<'a> StageCtx<'a> {
             |s| &mut s.schedules,
             count_schedule,
             keys.schedule_key(sched_cfg),
+            |_| true,
             || {
                 compute().map(|schedule| {
                     let h = content_hash(&schedule);
@@ -559,6 +751,7 @@ impl<'a> StageCtx<'a> {
             |s| &mut s.netlists,
             count_netlist,
             key,
+            |_| true,
             || Arc::new(compute()),
         );
         ((*netlist).clone(), key)
@@ -582,6 +775,8 @@ impl<'a> StageCtx<'a> {
             |s| &mut s.places,
             count_place,
             keys.place_key(netlist_key, grid, cfg, seed),
+            // A budget interrupt is a property of the request, not the key.
+            |e| !matches!(e, Err(PlaceError::Interrupted(_))),
             || {
                 compute().map(|placement| {
                     let h = content_hash(&placement);
@@ -611,6 +806,8 @@ impl<'a> StageCtx<'a> {
             |s| &mut s.routes,
             count_route,
             key,
+            // A budget interrupt is a property of the request, not the key.
+            |e| !matches!(e, Err(RouteError::Interrupted(_))),
             || compute().map(Arc::new),
         );
         (entry.map(|routing| (*routing).clone()), key)
@@ -630,6 +827,7 @@ impl<'a> StageCtx<'a> {
             |s| &mut s.optimized,
             count_optimize,
             keys.optimize_key(route_key),
+            |_| true,
             || Arc::new(compute()),
         );
         (*routing).clone()
@@ -665,10 +863,22 @@ mod tests {
                 kind: ComponentKind::Mixer,
             })
         };
-        let a = cache.get_or_compute("schedule", schedules, count_schedule, key, compute);
-        let b = cache.get_or_compute("schedule", schedules, count_schedule, key, || {
-            unreachable!("hit must not recompute")
-        });
+        let a = cache.get_or_compute(
+            "schedule",
+            schedules,
+            count_schedule,
+            key,
+            |_| true,
+            compute,
+        );
+        let b = cache.get_or_compute(
+            "schedule",
+            schedules,
+            count_schedule,
+            key,
+            |_| true,
+            || unreachable!("hit must not recompute"),
+        );
         assert_eq!(calls.load(Ordering::SeqCst), 1);
         assert_eq!(a.clone().unwrap_err(), b.unwrap_err());
         let stats = cache.stats();
@@ -680,20 +890,73 @@ mod tests {
         let cache = StageCache::new();
         let key = ContentHash::from_u64(7);
         let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _ = cache.get_or_compute("schedule", schedules, count_schedule, key, || {
-                panic!("stage bug")
-            });
+            let _ = cache.get_or_compute(
+                "schedule",
+                schedules,
+                count_schedule,
+                key,
+                |_| true,
+                || panic!("stage bug"),
+            );
         }));
         assert!(boom.is_err());
         // The key must be computable again, not deadlocked in flight.
-        let v = cache.get_or_compute("schedule", schedules, count_schedule, key, || {
-            Err(SchedError::NoComponentForKind {
-                op: OpId::new(1),
-                kind: ComponentKind::Heater,
-            })
-        });
+        let v = cache.get_or_compute(
+            "schedule",
+            schedules,
+            count_schedule,
+            key,
+            |_| true,
+            || {
+                Err(SchedError::NoComponentForKind {
+                    op: OpId::new(1),
+                    kind: ComponentKind::Heater,
+                })
+            },
+        );
         assert!(v.is_err());
         assert_eq!(cache.stats().schedule_misses, 2);
+    }
+
+    #[test]
+    fn uncacheable_value_is_returned_but_not_stored() {
+        let cache = StageCache::new();
+        let calls = AtomicU32::new(0);
+        let key = ContentHash::from_u64(9);
+        let err = || {
+            Err(SchedError::NoComponentForKind {
+                op: OpId::new(2),
+                kind: ComponentKind::Mixer,
+            })
+        };
+        let a = cache.get_or_compute(
+            "schedule",
+            schedules,
+            count_schedule,
+            key,
+            |_| false,
+            || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                err()
+            },
+        );
+        assert!(a.is_err());
+        // Not stored: the next request recomputes (a second miss).
+        let b = cache.get_or_compute(
+            "schedule",
+            schedules,
+            count_schedule,
+            key,
+            |_| true,
+            || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                err()
+            },
+        );
+        assert!(b.is_err());
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        let stats = cache.stats();
+        assert_eq!((stats.schedule_misses, stats.schedule_hits), (2, 0));
     }
 
     #[test]

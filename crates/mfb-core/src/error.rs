@@ -1,5 +1,6 @@
 //! Whole-flow errors.
 
+use mfb_model::prelude::BudgetExceeded;
 use mfb_place::prelude::PlaceError;
 use mfb_route::prelude::RouteError;
 use mfb_sched::prelude::SchedError;
@@ -30,6 +31,14 @@ pub enum SynthesisError {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// The job's execution [`Budget`](mfb_model::budget::Budget) deadline
+    /// passed before synthesis finished; the run stopped at the next stage
+    /// or inner-loop checkpoint.
+    DeadlineExceeded,
+    /// The job was cancelled through its
+    /// [`CancelToken`](mfb_model::budget::CancelToken); the run stopped at
+    /// the next stage or inner-loop checkpoint.
+    Cancelled,
 }
 
 impl SynthesisError {
@@ -43,6 +52,9 @@ impl SynthesisError {
             // Scheduling never looks at the layout; its failures are
             // infeasibility proofs for the given allocation.
             SynthesisError::Sched(_) => true,
+            // An interrupted stage says nothing about the inputs — only
+            // about the budget it ran under.
+            SynthesisError::Place(PlaceError::Interrupted(_)) => false,
             // Placement failures depend on the grid, not the seed: both
             // `GridTooSmall` and `DefectBlocked` certify that no layout
             // exists, by area or by exhaustive scan.
@@ -51,6 +63,23 @@ impl SynthesisError {
                 matches!(last, RouteError::InconsistentSchedule { .. })
             }
             SynthesisError::StagePanic { .. } => false,
+            SynthesisError::DeadlineExceeded | SynthesisError::Cancelled => false,
+        }
+    }
+
+    /// The budget interrupt behind this error, if it is one (in any of its
+    /// shapes: the flow-level variants, or a stage-level `Interrupted`
+    /// that has not been normalized yet).
+    pub fn interrupt(&self) -> Option<BudgetExceeded> {
+        match self {
+            SynthesisError::DeadlineExceeded => Some(BudgetExceeded::DeadlineExceeded),
+            SynthesisError::Cancelled => Some(BudgetExceeded::Cancelled),
+            SynthesisError::Place(PlaceError::Interrupted(why)) => Some(*why),
+            SynthesisError::Route {
+                last: RouteError::Interrupted(why),
+                ..
+            } => Some(*why),
+            _ => None,
         }
     }
 }
@@ -69,6 +98,8 @@ impl fmt::Display for SynthesisError {
             SynthesisError::StagePanic { stage, message } => {
                 write!(f, "the {stage} stage panicked: {message}")
             }
+            SynthesisError::DeadlineExceeded => write!(f, "synthesis deadline exceeded"),
+            SynthesisError::Cancelled => write!(f, "synthesis cancelled"),
         }
     }
 }
@@ -80,6 +111,16 @@ impl std::error::Error for SynthesisError {
             SynthesisError::Place(e) => Some(e),
             SynthesisError::Route { last, .. } => Some(last),
             SynthesisError::StagePanic { .. } => None,
+            SynthesisError::DeadlineExceeded | SynthesisError::Cancelled => None,
+        }
+    }
+}
+
+impl From<BudgetExceeded> for SynthesisError {
+    fn from(why: BudgetExceeded) -> Self {
+        match why {
+            BudgetExceeded::DeadlineExceeded => SynthesisError::DeadlineExceeded,
+            BudgetExceeded::Cancelled => SynthesisError::Cancelled,
         }
     }
 }

@@ -220,7 +220,34 @@ impl Synthesizer {
         wash: &dyn WashModel,
         defects: &DefectMap,
     ) -> Result<Solution, SynthesisError> {
-        self.synthesize_inner(graph, components, wash, defects, None)
+        self.synthesize_inner(graph, components, wash, defects, None, &Budget::unlimited())
+    }
+
+    /// The fully general entry point: any defect map, an optional shared
+    /// [`StageCache`], and an execution [`Budget`].
+    ///
+    /// The budget is polled at stage boundaries and inside the placement
+    /// and routing inner loops (the annealer once per temperature epoch,
+    /// the router every few thousand A* expansions), so an expired
+    /// deadline or a flipped [`CancelToken`] stops the run promptly. A
+    /// checkpoint only ever *aborts*: a run that finishes within its
+    /// budget is byte-identical to an unlimited run, and interrupted
+    /// stage results are never stored in the cache.
+    ///
+    /// # Errors
+    ///
+    /// Any stage error, plus [`SynthesisError::DeadlineExceeded`] /
+    /// [`SynthesisError::Cancelled`] when the budget trips first.
+    pub fn synthesize_with(
+        &self,
+        graph: &SequencingGraph,
+        components: &ComponentSet,
+        wash: &dyn WashModel,
+        defects: &DefectMap,
+        cache: Option<&StageCache>,
+        budget: &Budget,
+    ) -> Result<Solution, SynthesisError> {
+        self.synthesize_inner(graph, components, wash, defects, cache, budget)
     }
 
     /// [`synthesize`](Synthesizer::synthesize) through a shared
@@ -241,7 +268,14 @@ impl Synthesizer {
         wash: &dyn WashModel,
         cache: &StageCache,
     ) -> Result<Solution, SynthesisError> {
-        self.synthesize_inner(graph, components, wash, &DefectMap::pristine(), Some(cache))
+        self.synthesize_inner(
+            graph,
+            components,
+            wash,
+            &DefectMap::pristine(),
+            Some(cache),
+            &Budget::unlimited(),
+        )
     }
 
     /// [`synthesize_cached`](Synthesizer::synthesize_cached) on a damaged
@@ -258,7 +292,14 @@ impl Synthesizer {
         defects: &DefectMap,
         cache: &StageCache,
     ) -> Result<Solution, SynthesisError> {
-        self.synthesize_inner(graph, components, wash, defects, Some(cache))
+        self.synthesize_inner(
+            graph,
+            components,
+            wash,
+            defects,
+            Some(cache),
+            &Budget::unlimited(),
+        )
     }
 
     /// Runs only the scheduling and netlist stages, leaving their results
@@ -319,6 +360,7 @@ impl Synthesizer {
         wash: &dyn WashModel,
         defects: &DefectMap,
         cache: Option<&StageCache>,
+        budget: &Budget,
     ) -> Result<Solution, SynthesisError> {
         let _flow_span = mfb_obs::obs_span!(
             "flow.synthesize",
@@ -332,12 +374,14 @@ impl Synthesizer {
             rule: cfg.binding,
         };
         let ctx = StageCtx::new(cache, graph, components, wash, defects);
+        budget.check().map_err(SynthesisError::from)?;
         let (schedule, schedule_h) = {
             let _span = mfb_obs::obs_span!("stage.schedule");
             ctx.schedule(&sched_cfg, graph, components, || {
                 schedule_with_defects(graph, components, wash, &sched_cfg, defects)
             })?
         };
+        budget.check().map_err(SynthesisError::from)?;
         let (netlist, netlist_key) = {
             let _span = mfb_obs::obs_span!("stage.netlist");
             ctx.netlist(schedule_h, cfg.beta, cfg.gamma, || {
@@ -367,13 +411,15 @@ impl Synthesizer {
                     base_grid.pitch_mm,
                 );
 
+                budget.check().map_err(AttemptError::Interrupt)?;
                 let seed = cfg.sa.seed.wrapping_add(u64::from(attempt));
                 let (placement, place_h) = {
                     let _span = mfb_obs::obs_span!("stage.place", attempt = attempt, seed = seed);
                     ctx.place(netlist_key, grid, cfg, seed, || match cfg.placement {
                         PlacementStrategy::SimulatedAnnealing => {
                             let sa = SaConfig { seed, ..cfg.sa };
-                            place_sa_with_defects(components, &netlist, grid, &sa, defects)
+                            place_sa_budgeted(components, &netlist, grid, &sa, defects, budget)
+                                .map(|(p, _)| p)
                         }
                         PlacementStrategy::Constructive => place_constructive_with_defects(
                             components,
@@ -392,14 +438,19 @@ impl Synthesizer {
                 let _route_span = mfb_obs::obs_span!("stage.route", attempt = attempt);
                 let (routed, route_key) =
                     ctx.route(schedule_h, place_h, cfg, || match cfg.routing {
-                        RoutingStrategy::ConflictAware => route_dcsa_with_defects(
-                            &schedule,
-                            graph,
-                            &placement,
-                            wash,
-                            &cfg.router,
-                            defects,
-                        ),
+                        RoutingStrategy::ConflictAware => {
+                            let mut scratch = SearchScratch::new();
+                            route_dcsa_budgeted(
+                                &schedule,
+                                graph,
+                                &placement,
+                                wash,
+                                &cfg.router,
+                                defects,
+                                &mut scratch,
+                                budget,
+                            )
+                        }
                         RoutingStrategy::ConstructionByCorrection => route_corrected_with_defects(
                             &schedule,
                             graph,
@@ -425,6 +476,7 @@ impl Synthesizer {
         let mut chosen: Option<(u32, Placement, Routing, ContentHash)> = None;
         let mut start = 0u32;
         'search: while start < attempts {
+            budget.check().map_err(SynthesisError::from)?;
             let chunk = if start == 0 {
                 1
             } else {
@@ -438,6 +490,16 @@ impl Synthesizer {
                     Ok((placement, routing, route_key)) => {
                         chosen = Some((attempt, placement, routing, route_key));
                         break 'search;
+                    }
+                    // A budget interrupt in any stage of any attempt ends the
+                    // whole run with the flow-level typed error — later
+                    // attempts would only trip the same checkpoint.
+                    Err(AttemptError::Interrupt(why)) => return Err(why.into()),
+                    Err(AttemptError::Place(PlaceError::Interrupted(why))) => {
+                        return Err(why.into());
+                    }
+                    Err(AttemptError::Route(RouteError::Interrupted(why))) => {
+                        return Err(why.into());
                     }
                     Err(AttemptError::Place(e)) => return Err(e.into()),
                     // A placement-independent routing error (e.g. a schedule
@@ -463,6 +525,7 @@ impl Synthesizer {
             };
             return Err(SynthesisError::Route { last, attempts });
         };
+        budget.check().map_err(SynthesisError::from)?;
         if cfg.optimize_channels {
             let _span = mfb_obs::obs_span!("stage.optimize");
             let optimized = ctx.optimize(route_key, || {
@@ -489,10 +552,13 @@ impl Synthesizer {
 }
 
 /// One retry-loop attempt's failure: a placement error aborts the whole
-/// flow, a routing error is retried (unless placement-independent).
+/// flow, a routing error is retried (unless placement-independent), and a
+/// budget interrupt — whether caught at the attempt's own checkpoint or
+/// inside a stage — aborts with the flow-level typed error.
 enum AttemptError {
     Place(PlaceError),
     Route(RouteError),
+    Interrupt(BudgetExceeded),
 }
 
 /// True when re-placing with a different seed or grid cannot change the

@@ -69,7 +69,7 @@ pub mod prelude {
     pub use crate::analysis::{
         area_report, audit_transport_times, AreaReport, TaskAudit, TransportAudit,
     };
-    pub use crate::cache::{CacheStats, StageCache};
+    pub use crate::cache::{CacheStats, SnapshotEntry, StageCache};
     pub use crate::config::{PlacementStrategy, RoutingStrategy, SynthesisConfig};
     pub use crate::error::SynthesisError;
     pub use crate::flow::{Solution, Synthesizer};
@@ -79,5 +79,6 @@ pub mod prelude {
     };
     pub use crate::report::{fig8_text, fig9_text, table1_text, ComparisonRow};
     pub use mfb_analyze::prelude::{analysis_rules, Analyzer};
+    pub use mfb_model::prelude::{Budget, BudgetExceeded, CancelToken};
     pub use mfb_verify::prelude::{RuleRegistry, VerifyReport};
 }

@@ -261,6 +261,37 @@ impl Synthesizer {
         policy: &RecoveryPolicy,
         cache: &StageCache,
     ) -> ResilientOutcome {
+        self.synthesize_resilient_budgeted(
+            graph,
+            components,
+            wash,
+            defects,
+            policy,
+            cache,
+            &Budget::unlimited(),
+        )
+    }
+
+    /// [`synthesize_resilient_cached`](Synthesizer::synthesize_resilient_cached)
+    /// under an execution [`Budget`]. The budget is polled at every rung
+    /// boundary and inside each attempt's stages; when it trips, the ladder
+    /// stops climbing and the outcome carries
+    /// [`SynthesisError::DeadlineExceeded`] or
+    /// [`SynthesisError::Cancelled`] **plus** the trace and best partial
+    /// artifacts accumulated so far — an expired job still reports how far
+    /// it got. A run that finishes within its budget is byte-identical to
+    /// an unlimited run.
+    #[allow(clippy::too_many_arguments)]
+    pub fn synthesize_resilient_budgeted(
+        &self,
+        graph: &SequencingGraph,
+        components: &ComponentSet,
+        wash: &dyn WashModel,
+        defects: &DefectMap,
+        policy: &RecoveryPolicy,
+        cache: &StageCache,
+        budget: &Budget,
+    ) -> ResilientOutcome {
         let _span = mfb_obs::obs_span!(
             "flow.resilient",
             ops = graph.ops().count() as u64,
@@ -304,6 +335,10 @@ impl Synthesizer {
             let reseed_batch = mfb_model::par::thread_limit().max(1) as u32;
             let mut next = 0u32;
             'rung1: while next < reseeds {
+                if let Err(why) = budget.check() {
+                    last_err = Some(why.into());
+                    break 'ladder;
+                }
                 let chunk = if next == 0 {
                     1
                 } else {
@@ -323,6 +358,7 @@ impl Synthesizer {
                         cache,
                         policy.catch_panics,
                         i + 1,
+                        budget,
                     )
                 });
                 for (k, (res, artifacts)) in results.into_iter().enumerate() {
@@ -366,6 +402,10 @@ impl Synthesizer {
 
             // ---- Rung 2: grow the grid. ----
             for g in 1..=policy.grow_steps {
+                if let Err(why) = budget.check() {
+                    last_err = Some(why.into());
+                    break 'ladder;
+                }
                 attempt_no += 1;
                 let grid = grown(g);
                 let seed = cfg
@@ -384,6 +424,7 @@ impl Synthesizer {
                     cache,
                     policy.catch_panics,
                     attempt_no,
+                    budget,
                 );
                 partial.absorb(artifacts);
                 match res {
@@ -409,6 +450,10 @@ impl Synthesizer {
 
             // ---- Rung 3: relax t_c and reschedule. ----
             for k in 1..=policy.relax_tc_steps {
+                if let Err(why) = budget.check() {
+                    last_err = Some(why.into());
+                    break 'ladder;
+                }
                 attempt_no += 1;
                 let t_c = cfg.t_c + Duration::from_secs(u64::from(k));
                 let (res, artifacts) = attempt_once(
@@ -423,6 +468,7 @@ impl Synthesizer {
                     cache,
                     policy.catch_panics,
                     attempt_no,
+                    budget,
                 );
                 partial.absorb(artifacts);
                 match res {
@@ -448,6 +494,10 @@ impl Synthesizer {
 
             // ---- Rung 4: rebind around the implicated component. ----
             for _ in 0..policy.rebind_attempts {
+                if let Err(why) = budget.check() {
+                    last_err = Some(why.into());
+                    break 'ladder;
+                }
                 let Some(victim) = implicated_component(
                     last_err.as_ref(),
                     partial.schedule.as_ref(),
@@ -470,6 +520,7 @@ impl Synthesizer {
                     cache,
                     policy.catch_panics,
                     attempt_no,
+                    budget,
                 );
                 partial.absorb(artifacts);
                 match res {
@@ -544,6 +595,9 @@ fn globally_fatal(e: &SynthesisError) -> bool {
         // t_c adds components, and rebinding only removes them.
         SynthesisError::Sched(_) => true,
         SynthesisError::Route { last, .. } => route_error_is_placement_independent(last),
+        // A tripped budget can only trip again: every further rung attempt
+        // would abort at its first checkpoint.
+        SynthesisError::DeadlineExceeded | SynthesisError::Cancelled => true,
         _ => false,
     }
 }
@@ -597,6 +651,7 @@ fn attempt_once(
     cache: &StageCache,
     catch: bool,
     attempt_no: u32,
+    budget: &Budget,
 ) -> (Result<Solution, SynthesisError>, Partial) {
     let mut partial = Partial::default();
     let result = attempt_inner(
@@ -611,8 +666,16 @@ fn attempt_once(
         cache,
         catch,
         attempt_no,
+        budget,
         &mut partial,
     );
+    // Normalize stage-level interrupts (`PlaceError::Interrupted`,
+    // `RouteError::Interrupted`) to the flow-level typed error so the
+    // ladder and the trace see one canonical shape.
+    let result = result.map_err(|e| match e.interrupt() {
+        Some(why) => why.into(),
+        None => e,
+    });
     (result, partial)
 }
 
@@ -630,8 +693,10 @@ fn attempt_inner(
     cache: &StageCache,
     catch: bool,
     attempt_no: u32,
+    budget: &Budget,
     partial: &mut Partial,
 ) -> Result<Solution, SynthesisError> {
+    budget.check().map_err(SynthesisError::from)?;
     let sched_cfg = SchedulerConfig {
         t_c,
         rule: cfg.binding,
@@ -654,7 +719,7 @@ fn attempt_inner(
         ctx.place(netlist_key, grid, cfg, seed, || match cfg.placement {
             PlacementStrategy::SimulatedAnnealing => {
                 let sa = SaConfig { seed, ..cfg.sa };
-                place_sa_with_defects(components, &netlist, grid, &sa, defects)
+                place_sa_budgeted(components, &netlist, grid, &sa, defects, budget).map(|(p, _)| p)
             }
             PlacementStrategy::Constructive => place_constructive_with_defects(
                 components,
@@ -674,7 +739,17 @@ fn attempt_inner(
     let routing = guard("route", catch, || {
         let (routed, route_key) = ctx.route(schedule_h, place_h, cfg, || match cfg.routing {
             RoutingStrategy::ConflictAware => {
-                route_dcsa_with_defects(&schedule, graph, &placement, wash, &cfg.router, defects)
+                let mut scratch = SearchScratch::new();
+                route_dcsa_budgeted(
+                    &schedule,
+                    graph,
+                    &placement,
+                    wash,
+                    &cfg.router,
+                    defects,
+                    &mut scratch,
+                    budget,
+                )
             }
             RoutingStrategy::ConstructionByCorrection => route_corrected_with_defects(
                 &schedule,

@@ -161,3 +161,141 @@ fn defect_maps_address_distinct_cache_entries() {
         "damaged-chip cached run diverged from uncached"
     );
 }
+
+#[test]
+fn interrupted_runs_never_poison_the_cache() {
+    let (graph, comps) = setup("PCR");
+    let syn = Synthesizer::paper_dcsa();
+    let cache = StageCache::new();
+
+    // A pre-cancelled budget: the run claims in-flight slots, trips the
+    // first checkpoint inside the stage, and the interrupted result must
+    // be released as uncacheable — never stored where a later request
+    // could observe it.
+    let token = CancelToken::new();
+    token.cancel();
+    let cancelled = Budget::unlimited().with_cancel(token);
+    let err = syn
+        .synthesize_with(
+            &graph,
+            &comps,
+            &wash(),
+            &DefectMap::pristine(),
+            Some(&cache),
+            &cancelled,
+        )
+        .expect_err("a cancelled budget must interrupt synthesis");
+    assert_eq!(err.interrupt(), Some(BudgetExceeded::Cancelled));
+    assert_eq!(
+        cache.ready_entries(),
+        0,
+        "cancelled stage results must not be cached"
+    );
+
+    // Same contract for the deadline flavor.
+    let expired = Budget::with_timeout(std::time::Duration::ZERO);
+    let err = syn
+        .synthesize_with(
+            &graph,
+            &comps,
+            &wash(),
+            &DefectMap::pristine(),
+            Some(&cache),
+            &expired,
+        )
+        .expect_err("an expired deadline must interrupt synthesis");
+    assert_eq!(err.interrupt(), Some(BudgetExceeded::DeadlineExceeded));
+    assert_eq!(
+        cache.ready_entries(),
+        0,
+        "deadline-expired stage results must not be cached"
+    );
+
+    // The cache is unharmed: a real run recomputes everything (nothing
+    // was stored, so it cannot hit) and matches the uncached flow.
+    let plain = syn
+        .synthesize(&graph, &comps, &wash())
+        .expect("PCR synthesizes");
+    let solved = syn
+        .synthesize_cached(&graph, &comps, &wash(), &cache)
+        .expect("PCR synthesizes after interrupted attempts");
+    assert_eq!(
+        serde_json::to_string(&solved).unwrap(),
+        serde_json::to_string(&plain).unwrap(),
+        "a cache that saw interrupted runs must still reproduce the plain flow"
+    );
+    assert!(cache.ready_entries() > 0);
+}
+
+#[test]
+fn waiters_survive_a_cancelled_leader() {
+    let (graph, comps) = setup("PCR");
+    let syn = Synthesizer::paper_dcsa();
+    let plain = syn
+        .synthesize(&graph, &comps, &wash())
+        .expect("PCR synthesizes");
+    let want = serde_json::to_string(&plain).unwrap();
+
+    // One cancelled requester races three unlimited ones on a shared
+    // cache. Whatever the interleaving, the in-flight dedup must not
+    // deadlock: a cancelled leader's released slot is taken over by a
+    // waiter, and a cancelled waiter simply errors at its next
+    // checkpoint. Every unlimited run must produce the plain solution.
+    let cache = StageCache::new();
+    let token = CancelToken::new();
+    token.cancel();
+
+    std::thread::scope(|s| {
+        let leader = {
+            let budget = Budget::unlimited().with_cancel(token.clone());
+            let (graph, comps, cache, syn) = (&graph, &comps, &cache, &syn);
+            s.spawn(move || {
+                syn.synthesize_with(
+                    graph,
+                    comps,
+                    &wash(),
+                    &DefectMap::pristine(),
+                    Some(cache),
+                    &budget,
+                )
+            })
+        };
+        let followers: Vec<_> = (0..3)
+            .map(|_| {
+                let (graph, comps, cache, syn) = (&graph, &comps, &cache, &syn);
+                s.spawn(move || {
+                    syn.synthesize_with(
+                        graph,
+                        comps,
+                        &wash(),
+                        &DefectMap::pristine(),
+                        Some(cache),
+                        &Budget::unlimited(),
+                    )
+                })
+            })
+            .collect();
+
+        let err = leader
+            .join()
+            .expect("cancelled leader must not panic")
+            .expect_err("cancelled leader must error");
+        assert_eq!(err.interrupt(), Some(BudgetExceeded::Cancelled));
+        for f in followers {
+            let sol = f
+                .join()
+                .expect("waiter must not panic")
+                .expect("unlimited waiters must synthesize");
+            assert_eq!(
+                serde_json::to_string(&sol).unwrap(),
+                want,
+                "waiter diverged after taking over from a cancelled leader"
+            );
+        }
+    });
+
+    // The survivors converged on one stored schedule, validated once —
+    // the cancelled leader neither validated nor stored anything.
+    let stats = cache.stats();
+    assert_eq!(stats.schedule_validations, 1);
+}

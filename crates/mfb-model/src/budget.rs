@@ -1,0 +1,196 @@
+//! Execution budgets: wall-clock deadlines and cooperative cancellation.
+//!
+//! A [`Budget`] travels *down* the synthesis stack — flow driver, recovery
+//! ladder, SA inner loop, A* expansion — and is polled at coarse checkpoints
+//! (a temperature epoch, a few thousand node expansions, a stage boundary).
+//! When the deadline passes or the paired [`CancelToken`] fires, the stage
+//! stops at the next checkpoint and surfaces a typed
+//! [`BudgetExceeded`] instead of running hot forever.
+//!
+//! Budgets never perturb results: checkpoints only ever *abort*, so a run
+//! that finishes within its budget is bit-identical to an unlimited run.
+//! [`Budget::unlimited`] is a two-`None` struct whose [`check`](Budget::check)
+//! folds to a pair of branch-not-taken tests — cheap enough for hot loops.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Why a budgeted computation stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BudgetExceeded {
+    /// The wall-clock deadline passed.
+    DeadlineExceeded,
+    /// The paired [`CancelToken`] was fired.
+    Cancelled,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetExceeded::DeadlineExceeded => write!(f, "deadline exceeded"),
+            BudgetExceeded::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// A shared flag that requests cooperative cancellation.
+///
+/// Cloning is cheap (one `Arc` bump); every clone observes the same flag.
+/// Firing is idempotent and cannot be undone.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, unfired token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. All clones observe the flag at their next
+    /// [`Budget::check`] checkpoint.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`cancel`](Self::cancel) has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// A deadline plus an optional cancellation token, polled cooperatively.
+///
+/// `Budget` is `Clone` and cheap to pass by value or reference; clones share
+/// the cancellation flag but carry their own copy of the deadline.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+}
+
+impl Budget {
+    /// A budget that never trips. `check` on this value is two `None`
+    /// pattern tests — safe to call from hot loops.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// A budget that trips once `timeout` has elapsed from now.
+    pub fn with_timeout(timeout: std::time::Duration) -> Self {
+        Budget {
+            deadline: Instant::now().checked_add(timeout),
+            cancel: None,
+        }
+    }
+
+    /// A budget that trips at `deadline`.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Budget {
+            deadline: Some(deadline),
+            cancel: None,
+        }
+    }
+
+    /// Attaches a cancellation token; [`check`](Self::check) trips with
+    /// [`BudgetExceeded::Cancelled`] once the token fires.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// `true` when the budget can never trip (no deadline, no token).
+    #[inline]
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.cancel.is_none()
+    }
+
+    /// The deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Polls the budget. Cancellation wins over the deadline when both have
+    /// tripped (cancellation is an explicit operator action; deadline is
+    /// ambient), so a cancelled job is reported as cancelled even if it also
+    /// ran long.
+    #[inline]
+    pub fn check(&self) -> Result<(), BudgetExceeded> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(BudgetExceeded::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(BudgetExceeded::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let b = Budget::unlimited();
+        assert!(b.is_unlimited());
+        assert_eq!(b.check(), Ok(()));
+    }
+
+    #[test]
+    fn expired_deadline_trips() {
+        let b = Budget::with_timeout(Duration::ZERO);
+        assert!(!b.is_unlimited());
+        assert_eq!(b.check(), Err(BudgetExceeded::DeadlineExceeded));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip() {
+        let b = Budget::with_timeout(Duration::from_secs(3600));
+        assert_eq!(b.check(), Ok(()));
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let token = CancelToken::new();
+        let b = Budget::unlimited().with_cancel(token.clone());
+        assert_eq!(b.check(), Ok(()));
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert_eq!(b.check(), Err(BudgetExceeded::Cancelled));
+        // A clone taken before firing observes the same flag.
+        assert_eq!(b.clone().check(), Err(BudgetExceeded::Cancelled));
+    }
+
+    #[test]
+    fn cancellation_wins_over_deadline() {
+        let token = CancelToken::new();
+        token.cancel();
+        let b = Budget::with_timeout(Duration::ZERO).with_cancel(token);
+        assert_eq!(b.check(), Err(BudgetExceeded::Cancelled));
+    }
+
+    #[test]
+    fn displays_are_stable() {
+        assert_eq!(
+            BudgetExceeded::DeadlineExceeded.to_string(),
+            "deadline exceeded"
+        );
+        assert_eq!(BudgetExceeded::Cancelled.to_string(), "cancelled");
+    }
+}

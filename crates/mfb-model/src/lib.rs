@@ -16,7 +16,9 @@
 //!   durations;
 //! * [`geom`] — the cell grid on which placement and routing operate;
 //! * [`hash`] — stable structural content hashing behind the
-//!   content-addressed stage cache.
+//!   content-addressed stage cache;
+//! * [`budget`] — deadlines and cooperative cancellation polled at stage
+//!   checkpoints.
 //!
 //! # Quick taste
 //!
@@ -44,6 +46,7 @@
 #![warn(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod budget;
 pub mod component;
 pub mod concentration;
 pub mod defect;
@@ -61,6 +64,7 @@ pub mod wash;
 
 /// One-stop import for the types used by virtually every consumer.
 pub mod prelude {
+    pub use crate::budget::{Budget, BudgetExceeded, CancelToken};
     pub use crate::component::{
         Allocation, Component, ComponentKind, ComponentLibrary, ComponentSet, Footprint,
     };

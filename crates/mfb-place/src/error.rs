@@ -18,6 +18,10 @@ pub enum PlaceError {
         /// The grid that was attempted.
         grid: GridSpec,
     },
+    /// The annealer stopped at a budget checkpoint before converging: the
+    /// deadline passed or the job was cancelled. Not a property of the
+    /// inputs — retrying with a fresh budget may succeed.
+    Interrupted(BudgetExceeded),
 }
 
 impl fmt::Display for PlaceError {
@@ -32,6 +36,7 @@ impl fmt::Display for PlaceError {
                     "no defect-free placement exists on grid {grid} with the given defect map"
                 )
             }
+            PlaceError::Interrupted(why) => write!(f, "placement interrupted: {why}"),
         }
     }
 }

@@ -56,7 +56,7 @@ pub mod prelude {
     pub use crate::force::{place_force_directed, place_force_directed_with_defects};
     pub use crate::nets::{energy, energy_with_spacing, Net, NetList, SpacingParams};
     pub use crate::sa::{
-        place_sa, place_sa_auto, place_sa_with_defects, place_sa_with_stats,
+        place_sa, place_sa_auto, place_sa_budgeted, place_sa_with_defects, place_sa_with_stats,
         place_sa_with_stats_and_defects, Move, SaConfig, SaStats,
     };
 }

@@ -140,6 +140,34 @@ pub fn place_sa_with_stats_and_defects(
     config: &SaConfig,
     defects: &DefectMap,
 ) -> Result<(Placement, SaStats), PlaceError> {
+    place_sa_budgeted(
+        components,
+        nets,
+        grid,
+        config,
+        defects,
+        &Budget::unlimited(),
+    )
+}
+
+/// [`place_sa_with_stats_and_defects`] under an execution [`Budget`]: the
+/// budget is polled **once per temperature epoch** (every `i_max` proposals,
+/// outside the bitwise-pinned proposal path), so an unlimited budget leaves
+/// the annealer bit-identical to the frozen reference while a tripped one
+/// stops within a single epoch.
+///
+/// # Errors
+///
+/// Same as [`place_sa`], plus [`PlaceError::Interrupted`] when the deadline
+/// passes or the cancellation token fires mid-anneal.
+pub fn place_sa_budgeted(
+    components: &ComponentSet,
+    nets: &NetList,
+    grid: GridSpec,
+    config: &SaConfig,
+    defects: &DefectMap,
+    budget: &Budget,
+) -> Result<(Placement, SaStats), PlaceError> {
     // Probes sit outside the annealing loop: the per-proposal path is
     // pinned bitwise to the frozen reference and stays untouched; epoch
     // and accept/reject telemetry is emitted once, after the loop, from
@@ -149,6 +177,7 @@ pub fn place_sa_with_stats_and_defects(
         seed = config.seed,
         components = components.len() as u64,
     );
+    budget.check().map_err(PlaceError::Interrupted)?;
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut placement = initial_placement(components, grid, &mut rng, defects)?;
     let mut stats = SaStats::default();
@@ -163,6 +192,7 @@ pub fn place_sa_with_stats_and_defects(
     let mut t = config.t0;
     let mut epochs = 0u64;
     while t > config.t_min {
+        budget.check().map_err(PlaceError::Interrupted)?;
         for _ in 0..config.i_max {
             stats.proposals += 1;
             let Some(mv) = propose_move(&mut placement, components, &mut rng, defects) else {

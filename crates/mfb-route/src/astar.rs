@@ -94,15 +94,63 @@ pub struct SearchScratch {
     heap: BinaryHeap<Reverse<(u64, u64)>>,
     /// Dijkstra heap for [`dijkstra_map_with`]; entries are [`pack`]ed.
     dheap: BinaryHeap<Reverse<u64>>,
+    /// Execution budget polled every [`BUDGET_CHECK_MASK`]+1 expansions.
+    /// `None` (the default, and any unlimited budget) skips the poll
+    /// entirely, keeping the hot loop identical to the unbudgeted search.
+    budget: Option<Budget>,
+    /// Set when a query stopped at a budget checkpoint; the searches then
+    /// return "no path" / partial maps and the router surfaces
+    /// [`crate::error::RouteError::Interrupted`].
+    interrupted: Option<BudgetExceeded>,
     /// Counters across all queries since construction.
     pub stats: SearchStats,
 }
+
+/// Budget poll cadence: every `BUDGET_CHECK_MASK + 1` expansions. A few
+/// thousand expansions take well under a millisecond, so deadlines are
+/// honored promptly while the per-expansion overhead stays one masked
+/// compare.
+const BUDGET_CHECK_MASK: u64 = 0xFFF;
 
 impl SearchScratch {
     /// An empty arena; arrays grow on first use.
     #[must_use]
     pub fn new() -> Self {
         SearchScratch::default()
+    }
+
+    /// Installs an execution budget: subsequent queries poll it periodically
+    /// and stop early when it trips (see
+    /// [`interrupted`](Self::interrupted)). An unlimited budget uninstalls
+    /// the poll. Clears any previous interrupt flag.
+    pub fn set_budget(&mut self, budget: &Budget) {
+        self.budget = if budget.is_unlimited() {
+            None
+        } else {
+            Some(budget.clone())
+        };
+        self.interrupted = None;
+    }
+
+    /// Why the last query stopped early, if it did. The flag persists until
+    /// the next [`set_budget`](Self::set_budget), so drivers can run a whole
+    /// routing pass and ask once at the end.
+    pub fn interrupted(&self) -> Option<BudgetExceeded> {
+        self.interrupted
+    }
+
+    /// Polls the installed budget between queries (the in-query poll only
+    /// fires every few thousand expansions, so cheap queries could otherwise
+    /// outrun the deadline). Latches and returns the interrupt, if any.
+    pub fn poll_budget(&mut self) -> Option<BudgetExceeded> {
+        if self.interrupted.is_none() {
+            if let Some(b) = &self.budget {
+                if let Err(why) = b.check() {
+                    self.interrupted = Some(why);
+                }
+            }
+        }
+        self.interrupted
     }
 
     /// Starts a query over `n` cells: grows the arrays if needed and bumps
@@ -227,6 +275,8 @@ pub fn find_path_with(
         cost_stamp,
         cost_val,
         heap,
+        budget,
+        interrupted,
         stats,
         ..
     } = scratch;
@@ -315,6 +365,14 @@ pub fn find_path_with(
             continue; // stale entry — the cell was finalized cheaper
         }
         stats.expansions += 1;
+        if stats.expansions & BUDGET_CHECK_MASK == 0 {
+            if let Some(b) = budget {
+                if let Err(why) = b.check() {
+                    *interrupted = Some(why);
+                    return None;
+                }
+            }
+        }
         if target_stamp[idx] == epoch {
             // Reconstruct.
             let mut path = vec![cell];
@@ -392,6 +450,8 @@ pub fn dijkstra_map_with(
         cost_stamp,
         cost_val,
         dheap: heap,
+        budget,
+        interrupted,
         stats,
         ..
     } = scratch;
@@ -441,6 +501,16 @@ pub fn dijkstra_map_with(
             continue;
         }
         stats.expansions += 1;
+        if stats.expansions & BUDGET_CHECK_MASK == 0 {
+            if let Some(b) = budget {
+                if let Err(why) = b.check() {
+                    *interrupted = Some(why);
+                    // Abandon the sweep: callers see the interrupt flag and
+                    // discard the (partial) maps.
+                    break;
+                }
+            }
+        }
         for nb in cell.neighbours(spec.width, spec.height) {
             let nidx = spec.index(nb);
             let ng = g + cell_cost(nb, nidx);

@@ -32,6 +32,10 @@ pub enum RouteError {
         /// The task the router could not account for.
         task: TaskId,
     },
+    /// The router stopped at a budget checkpoint before finishing: the
+    /// deadline passed or the job was cancelled. Not a congestion proof —
+    /// retrying with a fresh budget may succeed.
+    Interrupted(BudgetExceeded),
 }
 
 impl fmt::Display for RouteError {
@@ -52,6 +56,7 @@ impl fmt::Display for RouteError {
                     "schedule is internally inconsistent: transport task {task} was never visited"
                 )
             }
+            RouteError::Interrupted(why) => write!(f, "routing interrupted: {why}"),
         }
     }
 }

@@ -450,6 +450,34 @@ pub fn route_dcsa_with_defects(
     )
 }
 
+/// [`route_dcsa_with_defects`] under an execution [`Budget`]: the budget is
+/// installed on `scratch` and polled per routed task plus every few
+/// thousand A* expansions, so a tripped deadline or cancellation surfaces
+/// as [`RouteError::Interrupted`] within milliseconds instead of after the
+/// full pass. An unlimited budget leaves the search bit-identical to
+/// [`route_dcsa_with_scratch`].
+///
+/// # Errors
+///
+/// Same as [`route_dcsa`], plus [`RouteError::Interrupted`].
+#[allow(clippy::too_many_arguments)]
+pub fn route_dcsa_budgeted(
+    schedule: &Schedule,
+    graph: &SequencingGraph,
+    placement: &Placement,
+    wash: &dyn WashModel,
+    config: &RouterConfig,
+    defects: &DefectMap,
+    scratch: &mut SearchScratch,
+    budget: &Budget,
+) -> Result<Routing, RouteError> {
+    scratch.set_budget(budget);
+    let result =
+        route_dcsa_with_scratch(schedule, graph, placement, wash, config, defects, scratch);
+    scratch.set_budget(&Budget::unlimited());
+    result
+}
+
 /// [`route_dcsa_with_defects`] on a caller-owned [`SearchScratch`]: the
 /// arena (and its accumulated [`crate::astar::SearchStats`]) survives the
 /// call, so batch drivers reuse one arena across placements and `mfb
@@ -506,7 +534,9 @@ fn route_dcsa_orderings(
     let first = route_dcsa_ordered(
         schedule, graph, placement, wash, config, &by_start, defects, scratch,
     );
-    if first.is_ok() {
+    // Success — or a budget interrupt, which a different ordering cannot
+    // outrun — ends the pass immediately.
+    if matches!(first, Ok(_) | Err(RouteError::Interrupted(_))) {
         return first;
     }
     let mut by_occupancy: Vec<&TransportTask> = schedule.transports().collect();
@@ -551,6 +581,9 @@ fn route_dcsa_ordered(
 
     let mut paths: Vec<Option<RoutedPath>> = vec![None; schedule.transports().len()];
     while let Some(t) = queue.pop_front() {
+        if let Some(why) = scratch.poll_budget() {
+            return Err(RouteError::Interrupted(why));
+        }
         let src_ports = ports(placement, &grid, t.src);
         if src_ports.is_empty() {
             return Err(RouteError::NoPorts { component: t.src });
@@ -574,12 +607,18 @@ fn route_dcsa_ordered(
                 });
             }
             None => {
+                // A search that stopped at a budget checkpoint returns the
+                // same `None` as a genuinely blocked task; the interrupt
+                // flag disambiguates.
+                if let Some(why) = scratch.interrupted() {
+                    return Err(RouteError::Interrupted(why));
+                }
                 // Identify blockers along an unconstrained reference path
                 // and rip them out. The reference grid carries no
                 // reservations but must still honor the defect mask.
                 let pristine = RoutingGrid::new_with_defects(placement, config.w_e, defects);
                 let window = t.occupancy();
-                let reference = find_path_with(
+                let reference = match find_path_with(
                     scratch,
                     &pristine,
                     &src_ports,
@@ -588,8 +627,15 @@ fn route_dcsa_ordered(
                     t.fluid,
                     wash_of,
                     AstarOptions { use_weights: false },
-                )
-                .ok_or(RouteError::Unroutable { task: t.id })?;
+                ) {
+                    Some(p) => p,
+                    None => {
+                        return Err(match scratch.interrupted() {
+                            Some(why) => RouteError::Interrupted(why),
+                            None => RouteError::Unroutable { task: t.id },
+                        })
+                    }
+                };
                 let mut blockers: Vec<TaskId> = Vec::new();
                 for &cell in &reference {
                     for r in grid.reservations(cell) {

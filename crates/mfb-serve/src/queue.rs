@@ -1,0 +1,222 @@
+//! Bounded admission queue with priorities and per-client caps.
+//!
+//! Admission control is the daemon's backpressure valve: the queue has a
+//! hard capacity, each client has an in-flight cap (queued **plus**
+//! running, released only when a job reaches a terminal state), and both
+//! rejections are *typed* — the client sees `queue_full` or
+//! `client_saturated` immediately instead of a connection that hangs
+//! until the server falls over.
+//!
+//! Dispatch order is priority, then FIFO: lower priority numbers run
+//! first, and within a level jobs leave in submission order (a
+//! monotonically increasing sequence number breaks ties, so two equal
+//! entries can never reorder).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// The verdict of [`JobQueue::try_push`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Admission {
+    /// The job was enqueued.
+    Accepted,
+    /// The queue is at its capacity.
+    QueueFull {
+        /// The configured capacity.
+        cap: usize,
+    },
+    /// The client already has `cap` jobs in flight.
+    ClientSaturated {
+        /// The configured per-client cap.
+        cap: usize,
+    },
+    /// The queue is draining and admits nothing new.
+    Draining,
+}
+
+struct Inner<T> {
+    // Reverse((priority, seq, item)): the binary heap is a max-heap, so
+    // Reverse pops the smallest (priority, seq) — most urgent, oldest.
+    heap: BinaryHeap<Reverse<(u8, u64, T)>>,
+    seq: u64,
+    in_flight: HashMap<String, usize>,
+    draining: bool,
+}
+
+/// A bounded, priority-ordered admission queue. `T` is the job handle
+/// (the server uses job ids).
+pub struct JobQueue<T: Ord> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    cap: usize,
+    client_cap: usize,
+}
+
+impl<T: Ord> std::fmt::Debug for JobQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobQueue")
+            .field("cap", &self.cap)
+            .field("client_cap", &self.client_cap)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<T: Ord> JobQueue<T> {
+    /// A queue admitting at most `cap` queued jobs, at most `client_cap`
+    /// in flight per client.
+    pub fn new(cap: usize, client_cap: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                heap: BinaryHeap::new(),
+                seq: 0,
+                in_flight: HashMap::new(),
+                draining: false,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+            client_cap: client_cap.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Attempts admission. On [`Admission::Accepted`] the client's
+    /// in-flight count is incremented; pair every acceptance with exactly
+    /// one [`release_client`](Self::release_client) when the job reaches
+    /// a terminal state.
+    pub fn try_push(&self, client: &str, priority: u8, item: T) -> Admission {
+        let mut st = self.lock();
+        if st.draining {
+            return Admission::Draining;
+        }
+        if st.heap.len() >= self.cap {
+            return Admission::QueueFull { cap: self.cap };
+        }
+        let count = st.in_flight.get(client).copied().unwrap_or(0);
+        if count >= self.client_cap {
+            return Admission::ClientSaturated {
+                cap: self.client_cap,
+            };
+        }
+        *st.in_flight.entry(client.to_owned()).or_insert(0) += 1;
+        let seq = st.seq;
+        st.seq += 1;
+        st.heap.push(Reverse((priority, seq, item)));
+        drop(st);
+        self.ready.notify_one();
+        Admission::Accepted
+    }
+
+    /// Pops the most urgent job, waiting up to `timeout`. `None` on
+    /// timeout (callers poll their shutdown flags between waits).
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let mut st = self.lock();
+        if st.heap.is_empty() {
+            let (guard, _) = self
+                .ready
+                .wait_timeout(st, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
+        st.heap.pop().map(|Reverse((_, _, item))| item)
+    }
+
+    /// Releases one in-flight slot for `client` (its job finished,
+    /// failed, or was cancelled).
+    pub fn release_client(&self, client: &str) {
+        let mut st = self.lock();
+        if let Some(n) = st.in_flight.get_mut(client) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                st.in_flight.remove(client);
+            }
+        }
+    }
+
+    /// Stops admissions; queued jobs still drain through
+    /// [`pop_timeout`](Self::pop_timeout).
+    pub fn drain(&self) {
+        self.lock().draining = true;
+        self.ready.notify_all();
+    }
+
+    /// True once [`drain`](Self::drain) has been called.
+    pub fn is_draining(&self) -> bool {
+        self.lock().draining
+    }
+
+    /// Jobs currently queued (not yet popped).
+    pub fn len(&self) -> usize {
+        self.lock().heap.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Jobs in flight for `client` (queued plus running).
+    pub fn in_flight(&self, client: &str) -> usize {
+        self.lock().in_flight.get(client).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_priority_and_priority_order() {
+        let q: JobQueue<u32> = JobQueue::new(16, 16);
+        assert_eq!(q.try_push("a", 5, 1), Admission::Accepted);
+        assert_eq!(q.try_push("a", 5, 2), Admission::Accepted);
+        assert_eq!(q.try_push("a", 0, 3), Admission::Accepted);
+        assert_eq!(q.try_push("a", 9, 4), Admission::Accepted);
+        assert_eq!(q.try_push("a", 0, 5), Admission::Accepted);
+        let order: Vec<u32> = (0..5)
+            .map(|_| q.pop_timeout(Duration::ZERO).unwrap())
+            .collect();
+        assert_eq!(order, vec![3, 5, 1, 2, 4]);
+    }
+
+    #[test]
+    fn queue_cap_and_client_cap_reject_typed() {
+        let q: JobQueue<u32> = JobQueue::new(2, 1);
+        assert_eq!(q.try_push("a", 5, 1), Admission::Accepted);
+        assert_eq!(q.try_push("a", 5, 2), Admission::ClientSaturated { cap: 1 });
+        assert_eq!(q.try_push("b", 5, 2), Admission::Accepted);
+        assert_eq!(q.try_push("c", 5, 3), Admission::QueueFull { cap: 2 });
+        // Popping does not release the client slot — termination does.
+        assert_eq!(q.pop_timeout(Duration::ZERO), Some(1));
+        assert_eq!(q.try_push("a", 5, 4), Admission::ClientSaturated { cap: 1 });
+        q.release_client("a");
+        assert_eq!(q.try_push("a", 5, 4), Admission::Accepted);
+    }
+
+    #[test]
+    fn draining_rejects_but_still_pops() {
+        let q: JobQueue<u32> = JobQueue::new(8, 8);
+        assert_eq!(q.try_push("a", 5, 1), Admission::Accepted);
+        q.drain();
+        assert!(q.is_draining());
+        assert_eq!(q.try_push("a", 5, 2), Admission::Draining);
+        assert_eq!(q.pop_timeout(Duration::ZERO), Some(1));
+        assert_eq!(q.pop_timeout(Duration::ZERO), None);
+    }
+
+    #[test]
+    fn pop_timeout_wakes_on_push() {
+        let q: std::sync::Arc<JobQueue<u32>> = std::sync::Arc::new(JobQueue::new(8, 8));
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || q2.pop_timeout(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.try_push("a", 5, 7), Admission::Accepted);
+        assert_eq!(t.join().unwrap(), Some(7));
+    }
+}

@@ -1,0 +1,84 @@
+//! Minimal `SIGTERM`/`SIGINT` latching, without a libc crate.
+//!
+//! The daemon only needs one bit of signal state: "a termination signal
+//! arrived". The handler stores into a process-global `AtomicBool`
+//! (atomic stores are async-signal-safe) and the accept loop polls
+//! [`termination_requested`] between accepts — the classic
+//! self-contained flag pattern, no pipes, no handler re-entry concerns.
+//!
+//! This is the single spot in the workspace that needs `unsafe`: the
+//! `signal(2)` FFI declaration. It is confined to this module; the rest
+//! of the crate stays under `#![deny(unsafe_code)]`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+/// True once `SIGTERM` or `SIGINT` has been received (or
+/// [`request_termination`] was called). Latches; never resets.
+pub fn termination_requested() -> bool {
+    TERMINATE.load(Ordering::Acquire)
+}
+
+/// Sets the termination flag from process-local code (tests, the
+/// `drain` verb path); equivalent to receiving `SIGTERM`.
+pub fn request_termination() {
+    TERMINATE.store(true, Ordering::Release);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use super::TERMINATE;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_sig: i32) {
+        // An atomic store is on POSIX's async-signal-safe list.
+        TERMINATE.store(true, Ordering::Release);
+    }
+
+    extern "C" {
+        // `sighandler_t signal(int signum, sighandler_t handler);`
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Installs the latching handler for `SIGTERM` and `SIGINT`.
+    pub fn install() {
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        // SAFETY: `signal` is only given a valid signal number and a
+        // handler that performs a single atomic store. glibc's `signal`
+        // uses BSD semantics (the handler stays installed, syscalls
+        // restart), which is exactly what the polling accept loop wants.
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No-op on non-Unix targets; `drain` still works over the wire.
+    pub fn install() {}
+}
+
+/// Installs termination-signal handlers (Unix) or does nothing
+/// (elsewhere). Idempotent.
+pub fn install_handlers() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_latches_the_flag() {
+        install_handlers();
+        request_termination();
+        assert!(termination_requested());
+    }
+}

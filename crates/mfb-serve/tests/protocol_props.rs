@@ -1,0 +1,118 @@
+//! Property tests for the wire protocol: **no input panics the
+//! parser**, and every malformed frame yields a typed error that
+//! renders as valid JSON. This is the contract that lets the daemon
+//! face untrusted clients: the worst a hostile frame can do is earn
+//! itself an error response.
+
+use mfb_serve::prelude::*;
+use proptest::prelude::*;
+
+/// Parse must not panic; on failure the error must render as a valid
+/// single-line JSON response.
+fn never_panics_and_errors_are_json(line: &str) -> Result<(), TestCaseError> {
+    let parsed = std::panic::catch_unwind(|| parse_request(line));
+    let result = match parsed {
+        Ok(r) => r,
+        Err(_) => return Err(TestCaseError::fail("parse_request panicked")),
+    };
+    if let Err(e) = result {
+        let response = e.to_response();
+        prop_assert!(!response.contains('\n'), "response must be one line");
+        let doc: serde_json::Value = serde_json::from_str(&response)
+            .map_err(|err| TestCaseError::fail(format!("error response not JSON: {err}")))?;
+        prop_assert_eq!(
+            doc.get("ok").and_then(serde_json::Value::as_bool),
+            Some(false)
+        );
+        prop_assert!(doc
+            .get("error")
+            .and_then(serde_json::Value::as_str)
+            .is_some());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary printable soup (including exotic Unicode).
+    #[test]
+    fn random_text_never_panics(line in "\\PC{0,200}") {
+        never_panics_and_errors_are_json(&line)?;
+    }
+
+    /// Arbitrary bytes, lossily decoded — stresses the UTF-8 edges the
+    /// socket layer can hand the parser.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let line = String::from_utf8_lossy(&bytes).into_owned();
+        never_panics_and_errors_are_json(&line)?;
+    }
+
+    /// Valid requests truncated at every possible byte boundary: the
+    /// classic torn-frame case after a crashed client.
+    #[test]
+    fn truncated_valid_requests_never_panic(cut in 0usize..200, which in 0usize..5) {
+        let full = match which {
+            0 => r#"{"op":"submit","job":{"bench":"PCR","seed":7},"timeout_secs":30,"priority":2,"client":"ci","trace":true}"#,
+            1 => r#"{"op":"status","id":"j17"}"#,
+            2 => r#"{"op":"result","id":"j17"}"#,
+            3 => r#"{"op":"cancel","id":"j17"}"#,
+            _ => r#"{"op":"stats"}"#,
+        };
+        let cut = cut.min(full.len());
+        // Cut on a char boundary (these are all ASCII, so every byte).
+        let line = &full[..cut];
+        never_panics_and_errors_are_json(line)?;
+        // A truncated frame must never parse as a *different* valid verb.
+        if cut < full.len() {
+            prop_assert!(parse_request(line).is_err(), "truncation must not parse: {line:?}");
+        }
+    }
+
+    /// Oversized frames are typed `bad_frame` rejections, not panics or
+    /// unbounded allocations.
+    #[test]
+    fn oversized_frames_are_typed(extra in 1usize..4096) {
+        let line = format!(
+            "{{\"op\":\"stats\",\"pad\":\"{}\"}}",
+            "x".repeat(MAX_FRAME + extra)
+        );
+        match parse_request(&line) {
+            Err(e) => prop_assert_eq!(e.kind, ErrorKind::BadFrame),
+            Ok(r) => return Err(TestCaseError::fail(format!("oversized frame parsed: {r:?}"))),
+        }
+    }
+
+    /// Deep nesting must not blow the stack (the JSON shim is recursive;
+    /// this bounds how deep a hostile frame can drive it within one
+    /// MAX_FRAME — and documents that the answer is "errors, not UB").
+    #[test]
+    fn nested_arrays_never_panic(depth in 1usize..300) {
+        let line = format!("{}{}", "[".repeat(depth), "]".repeat(depth));
+        never_panics_and_errors_are_json(&line)?;
+    }
+}
+
+#[test]
+fn every_error_kind_has_a_stable_token() {
+    let kinds = [
+        ErrorKind::BadFrame,
+        ErrorKind::BadRequest,
+        ErrorKind::UnknownOp,
+        ErrorKind::QueueFull,
+        ErrorKind::ClientSaturated,
+        ErrorKind::UnknownJob,
+        ErrorKind::NotReady,
+        ErrorKind::Draining,
+        ErrorKind::JobFailed,
+    ];
+    let mut seen = std::collections::HashSet::new();
+    for k in kinds {
+        assert!(seen.insert(k.token()), "duplicate token {}", k.token());
+        assert!(k
+            .token()
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c == '_'));
+    }
+}
