@@ -97,14 +97,31 @@ pub fn table1_benchmarks() -> Vec<Benchmark> {
     ]
 }
 
-/// The benchmark with the given Table-I name, if any
-/// (case-insensitive; `"synth3"` is accepted for `"Synthetic3"`).
+/// The dense stress workload **Synthetic5**: 100 operations on a
+/// 10/5/5/4 allocation — twice the paper's largest rung. Deliberately not
+/// part of [`table1_benchmarks`] (Table I stops at 50 operations); `mfb
+/// bench` runs it as a separate congestion axis where the negotiated
+/// router's routability matters.
+pub fn dense_benchmark() -> Benchmark {
+    Benchmark {
+        name: "Synthetic5",
+        graph: synth::synthetic5(),
+        allocation: Allocation::new(10, 5, 5, 4),
+    }
+}
+
+/// The benchmark with the given name, if any (case-insensitive;
+/// `"synth3"` is accepted for `"Synthetic3"`). Resolves the seven Table-I
+/// workloads plus the dense [`dense_benchmark`] rung `"Synthetic5"`.
 pub fn benchmark_by_name(name: &str) -> Option<Benchmark> {
     let needle = name.to_ascii_lowercase();
-    table1_benchmarks().into_iter().find(|b| {
-        let full = b.name.to_ascii_lowercase();
-        full == needle || full.replace("synthetic", "synth") == needle
-    })
+    table1_benchmarks()
+        .into_iter()
+        .chain(std::iter::once(dense_benchmark()))
+        .find(|b| {
+            let full = b.name.to_ascii_lowercase();
+            full == needle || full.replace("synthetic", "synth") == needle
+        })
 }
 
 /// The Fig. 2(a) running example: a 10-operation assay on five components
@@ -187,7 +204,17 @@ mod tests {
         assert_eq!(benchmark_by_name("pcr").unwrap().name, "PCR");
         assert_eq!(benchmark_by_name("Synthetic2").unwrap().name, "Synthetic2");
         assert_eq!(benchmark_by_name("synth4").unwrap().name, "Synthetic4");
+        assert_eq!(benchmark_by_name("synth5").unwrap().name, "Synthetic5");
         assert!(benchmark_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn dense_benchmark_covers_its_assay_and_stays_out_of_table1() {
+        let b = dense_benchmark();
+        assert_eq!(b.graph.len(), 100);
+        let set = b.allocation.instantiate(&ComponentLibrary::default());
+        assert!(set.covers(b.graph.ops().map(|o| o.kind())));
+        assert!(table1_benchmarks().iter().all(|t| t.name != b.name));
     }
 
     #[test]

@@ -628,6 +628,10 @@ impl BaseKeys {
                 h.write_u32(cfg.sa.i_max);
                 h.write_u64(seed);
                 write_spacing(&mut h, cfg.sa.spacing);
+                // Tempering inputs: a different chain count or ladder is a
+                // different placement, so it must be a different key.
+                h.write_u32(cfg.sa.chains);
+                h.write_f64(cfg.sa.ladder);
             }
             PlacementStrategy::Constructive => {
                 h.write_str("constructive");
@@ -654,10 +658,18 @@ impl BaseKeys {
         h.write_str(match cfg.routing {
             RoutingStrategy::ConflictAware => "conflict-aware",
             RoutingStrategy::ConstructionByCorrection => "corrected",
+            RoutingStrategy::Negotiated => "negotiated",
         });
         h.write_u64(cfg.router.w_e.as_ticks());
         h.write_bool(cfg.router.wash_aware_weights);
         h.write_u32(cfg.router.plug_cells);
+        if cfg.routing == RoutingStrategy::Negotiated {
+            // Negotiation inputs: a different penalty schedule can converge
+            // on a different routing, so it must be a different key.
+            h.write_u32(cfg.router.negotiation.max_iters);
+            h.write_u64(cfg.router.negotiation.present_step_ticks);
+            h.write_u64(cfg.router.negotiation.history_step_ticks);
+        }
         h.finish()
     }
 

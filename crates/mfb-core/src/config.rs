@@ -27,6 +27,12 @@ pub enum RoutingStrategy {
     /// Construction-by-correction (the baseline: route blind, then fix by
     /// re-routing or postponing, possibly delaying the assay).
     ConstructionByCorrection,
+    /// PathFinder-style negotiated congestion: parallel soft-cost sweeps
+    /// with rising present/history penalties, falling back to
+    /// [`ConflictAware`](Self::ConflictAware) when negotiation does not
+    /// converge — never delays the schedule, never less routable than the
+    /// conflict-aware router.
+    Negotiated,
 }
 
 /// Configuration of the complete top-down synthesis flow.

@@ -417,9 +417,13 @@ impl Synthesizer {
                     let _span = mfb_obs::obs_span!("stage.place", attempt = attempt, seed = seed);
                     ctx.place(netlist_key, grid, cfg, seed, || match cfg.placement {
                         PlacementStrategy::SimulatedAnnealing => {
+                            // Delegates to the plain single-chain loop when
+                            // `cfg.sa.chains <= 1` (the paper configuration).
                             let sa = SaConfig { seed, ..cfg.sa };
-                            place_sa_budgeted(components, &netlist, grid, &sa, defects, budget)
-                                .map(|(p, _)| p)
+                            place_sa_tempered_budgeted(
+                                components, &netlist, grid, &sa, defects, budget,
+                            )
+                            .map(|(p, _)| p)
                         }
                         PlacementStrategy::Constructive => place_constructive_with_defects(
                             components,
@@ -459,6 +463,19 @@ impl Synthesizer {
                             &cfg.router,
                             defects,
                         ),
+                        RoutingStrategy::Negotiated => {
+                            let mut scratch = SearchScratch::new();
+                            route_negotiated_budgeted(
+                                &schedule,
+                                graph,
+                                &placement,
+                                wash,
+                                &cfg.router,
+                                defects,
+                                &mut scratch,
+                                budget,
+                            )
+                        }
                     });
                 match routed {
                     Ok(routing) => Ok((placement, routing, route_key)),

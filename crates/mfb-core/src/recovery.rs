@@ -719,7 +719,8 @@ fn attempt_inner(
         ctx.place(netlist_key, grid, cfg, seed, || match cfg.placement {
             PlacementStrategy::SimulatedAnnealing => {
                 let sa = SaConfig { seed, ..cfg.sa };
-                place_sa_budgeted(components, &netlist, grid, &sa, defects, budget).map(|(p, _)| p)
+                place_sa_tempered_budgeted(components, &netlist, grid, &sa, defects, budget)
+                    .map(|(p, _)| p)
             }
             PlacementStrategy::Constructive => place_constructive_with_defects(
                 components,
@@ -759,6 +760,19 @@ fn attempt_inner(
                 &cfg.router,
                 defects,
             ),
+            RoutingStrategy::Negotiated => {
+                let mut scratch = SearchScratch::new();
+                route_negotiated_budgeted(
+                    &schedule,
+                    graph,
+                    &placement,
+                    wash,
+                    &cfg.router,
+                    defects,
+                    &mut scratch,
+                    budget,
+                )
+            }
         });
         let mut routing = routed.map_err(|e| SynthesisError::Route {
             last: e,

@@ -8,10 +8,13 @@
 //! order**, so a caller that folds them sequentially produces byte-identical
 //! output regardless of how many worker threads ran.
 //!
-//! Worker count comes from [`thread_limit`]: the `MFB_THREADS` environment
+//! Worker count comes from [`thread_limit`] — the `MFB_THREADS` environment
 //! variable when set (clamped to ≥ 1), otherwise
-//! [`std::thread::available_parallelism`]. `MFB_THREADS=1` short-circuits to
-//! a plain serial loop — exactly the pre-parallelism code path.
+//! [`std::thread::available_parallelism`] — further capped at the machine's
+//! core count: oversubscribing CPU-bound workers only costs wall time, and
+//! the ordered reassembly makes worker count invisible in the output.
+//! `MFB_THREADS=1` short-circuits to a plain serial loop — exactly the
+//! pre-parallelism code path.
 //!
 //! Panic semantics mirror the serial loop: if an item's closure panics, the
 //! payload of the **lowest-index** panicking item is resumed on the caller's
@@ -47,7 +50,13 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let workers = thread_limit().min(len);
+    // `MFB_THREADS` is a cap, not a demand: spawning more CPU-bound workers
+    // than the machine has cores only adds oversubscription overhead (the
+    // super-round-per-call users of this function pay it per call), and the
+    // ordered reassembly below makes the worker count invisible in the
+    // output anyway.
+    let cores = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let workers = thread_limit().min(cores).min(len);
     if workers <= 1 {
         return (0..len).map(f).collect();
     }

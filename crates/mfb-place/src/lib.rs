@@ -43,6 +43,7 @@ pub mod force;
 pub mod nets;
 pub mod reference;
 pub mod sa;
+pub mod tempering;
 
 /// One-stop import of the placement API.
 pub mod prelude {
@@ -59,4 +60,5 @@ pub mod prelude {
         place_sa, place_sa_auto, place_sa_budgeted, place_sa_with_defects, place_sa_with_stats,
         place_sa_with_stats_and_defects, Move, SaConfig, SaStats,
     };
+    pub use crate::tempering::{place_sa_tempered, place_sa_tempered_budgeted};
 }

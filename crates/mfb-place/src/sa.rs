@@ -34,11 +34,18 @@ pub struct SaConfig {
     /// [`SpacingParams`]. Use [`SpacingParams::off`] for the paper's plain
     /// energy.
     pub spacing: SpacingParams,
+    /// Parallel-tempering chain count (see [`crate::tempering`]). `1` (the
+    /// paper's single-chain anneal) runs the plain loop below; `K > 1` runs
+    /// `K` temperature-laddered replicas with deterministic exchange.
+    pub chains: u32,
+    /// Temperature ratio between adjacent tempering chains: chain `i` runs
+    /// at `T · ladder^i`. Ignored when `chains <= 1`.
+    pub ladder: f64,
 }
 
 impl SaConfig {
     /// The paper's parameters: `T_0 = 10000`, `T_min = 1.0`, `α = 0.9`,
-    /// `I_max = 150`.
+    /// `I_max = 150` — single chain, the published algorithm.
     pub fn paper() -> Self {
         SaConfig {
             t0: 10_000.0,
@@ -47,12 +54,20 @@ impl SaConfig {
             i_max: 150,
             seed: 0xD1CE,
             spacing: SpacingParams::default_routing(),
+            chains: 1,
+            ladder: 1.6,
         }
     }
 
     /// Same schedule, different seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Same schedule, `chains` tempering replicas.
+    pub fn with_chains(mut self, chains: u32) -> Self {
+        self.chains = chains;
         self
     }
 }
@@ -350,7 +365,7 @@ impl Move {
 /// defect map, so a pristine map reproduces the historical placements
 /// exactly. The draw sequence and accept/reject decisions match the
 /// clone-based [`crate::reference`] proposer bit for bit.
-fn propose_move(
+pub(crate) fn propose_move(
     placement: &mut Placement,
     components: &ComponentSet,
     rng: &mut StdRng,
@@ -491,7 +506,11 @@ fn swap_stays_legal(
 /// result bitwise identical to [`energy_with_spacing`] — floating-point
 /// addition is order-sensitive, so a running delta would drift and change
 /// Metropolis decisions.
-struct IncrementalEnergy<'a> {
+///
+/// `Clone` is derived so [`crate::tempering`] can step a snapshot of each
+/// chain inside the `Fn`-bounded parallel map.
+#[derive(Clone)]
+pub(crate) struct IncrementalEnergy<'a> {
     nets: &'a NetList,
     spacing: SpacingParams,
     spacing_on: bool,
@@ -530,7 +549,7 @@ struct IncrementalEnergy<'a> {
 }
 
 impl<'a> IncrementalEnergy<'a> {
-    fn new(placement: &Placement, nets: &'a NetList, spacing: SpacingParams) -> Self {
+    pub(crate) fn new(placement: &Placement, nets: &'a NetList, spacing: SpacingParams) -> Self {
         let n = placement.len();
         let spacing_on = spacing.weight > 0.0 && spacing.min_gap > 0;
         let ports: Vec<CellPos> = (0..n)
@@ -588,6 +607,12 @@ impl<'a> IncrementalEnergy<'a> {
         }
     }
 
+    /// The spacing parameters this energy was built with (for the
+    /// tempering loop's debug cross-check).
+    pub(crate) fn spacing(&self) -> SpacingParams {
+        self.spacing
+    }
+
     /// Flips slot `idx`'s non-zero bit when its value crossed zero.
     #[inline]
     fn reindex_pair(&mut self, idx: u32, old: f64, new: f64) {
@@ -599,7 +624,7 @@ impl<'a> IncrementalEnergy<'a> {
     /// Re-evaluates the terms incident to the move's component(s), logging
     /// the overwritten values for [`IncrementalEnergy::revert`]. Call with
     /// the placement already mutated by the move.
-    fn apply_move(&mut self, placement: &Placement, mv: &Move) {
+    pub(crate) fn apply_move(&mut self, placement: &Placement, mv: &Move) {
         self.saved_nets.clear();
         self.saved_pairs.clear();
         self.saved_ports.clear();
@@ -686,7 +711,7 @@ impl<'a> IncrementalEnergy<'a> {
     }
 
     /// Restores the terms overwritten by the last `apply_move`.
-    fn revert(&mut self) {
+    pub(crate) fn revert(&mut self) {
         for &(ni, old) in self.saved_nets.iter().rev() {
             self.net_terms[ni as usize] = old;
             self.prefix_from = self.prefix_from.min(ni as usize);
@@ -707,7 +732,7 @@ impl<'a> IncrementalEnergy<'a> {
 
     /// Sums the cached terms in the full recompute's order: the rebuilt
     /// suffix of the naive net-term prefix sums, then every penalised pair.
-    fn total(&mut self) -> f64 {
+    pub(crate) fn total(&mut self) -> f64 {
         let len = self.net_terms.len();
         for i in self.prefix_from..len {
             self.net_prefix[i + 1] = self.net_prefix[i] + self.net_terms[i];

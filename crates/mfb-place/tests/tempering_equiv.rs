@@ -1,0 +1,107 @@
+//! Golden-equivalence suite for the parallel-tempering annealer.
+//!
+//! Pins three properties:
+//!
+//! 1. the multi-chain optimized loop (`place_sa_tempered_budgeted`) is
+//!    bitwise identical to the serial clone-per-proposal
+//!    [`mfb_place::reference::place_sa_tempered_reference`] — so the
+//!    `mfb bench` multi-thread row times a pure hot-path/parallelism
+//!    speedup, not an algorithm change;
+//! 2. `chains == 1` is exactly the plain single-chain annealer;
+//! 3. the tempered result is byte-identical across `MFB_THREADS` values
+//!    (the whole point of the super-round + schedule-positioned-exchange
+//!    design).
+//!
+//! The thread-count check lives in a single `#[test]` because
+//! `MFB_THREADS` is process-global state.
+
+use mfb_bench_suite::table1_benchmarks;
+use mfb_model::prelude::*;
+use mfb_place::prelude::*;
+use mfb_place::reference::place_sa_tempered_reference;
+use mfb_sched::list::{schedule, SchedulerConfig};
+
+const SEEDS: [u64; 2] = [0xD1CE, 0xBEEF_CAFE];
+
+fn netlist_for(b: &mfb_bench_suite::Benchmark) -> (ComponentSet, NetList) {
+    let lib = ComponentLibrary::default();
+    let comps = b.components(&lib);
+    let wash = LogLinearWash::paper_calibrated();
+    let s = schedule(&b.graph, &comps, &wash, &SchedulerConfig::paper_dcsa()).unwrap();
+    let nets = NetList::build(&s, &b.graph, &wash, 0.6, 0.4);
+    (comps, nets)
+}
+
+#[test]
+fn tempered_matches_reference_on_table1_benchmarks() {
+    // PCR (smallest), CPA (most components), Synthetic4 (flagship).
+    for b in [0usize, 2, 6].map(|i| table1_benchmarks().swap_remove(i)) {
+        let (comps, nets) = netlist_for(&b);
+        let grid = auto_grid(&comps);
+        for seed in SEEDS {
+            for chains in [2u32, 4] {
+                let cfg = SaConfig::paper().with_seed(seed).with_chains(chains);
+                let fast =
+                    place_sa_tempered(&comps, &nets, grid, &cfg, &DefectMap::pristine()).unwrap();
+                let slow =
+                    place_sa_tempered_reference(&comps, &nets, grid, &cfg, &DefectMap::pristine())
+                        .unwrap();
+                assert_eq!(
+                    fast, slow,
+                    "{} diverged at seed {seed:#x}, {chains} chains",
+                    b.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn one_chain_is_the_plain_annealer() {
+    let b = table1_benchmarks().swap_remove(3); // Synthetic1
+    let (comps, nets) = netlist_for(&b);
+    let grid = auto_grid(&comps);
+    let cfg = SaConfig::paper();
+    assert_eq!(cfg.chains, 1);
+    let tempered = place_sa_tempered(&comps, &nets, grid, &cfg, &DefectMap::pristine()).unwrap();
+    let plain = place_sa(&comps, &nets, grid, &cfg).unwrap();
+    assert_eq!(tempered, plain);
+}
+
+#[test]
+fn tempered_under_defects_matches_reference() {
+    let b = table1_benchmarks().swap_remove(2); // CPA
+    let (comps, nets) = netlist_for(&b);
+    let grid = auto_grid(&comps);
+    let mut defects = DefectMap::pristine();
+    for i in 0..grid.width.min(grid.height) / 2 {
+        defects.block_cell(CellPos::new(2 * i, i));
+    }
+    let cfg = SaConfig::paper().with_chains(3);
+    let fast = place_sa_tempered(&comps, &nets, grid, &cfg, &defects).unwrap();
+    let slow = place_sa_tempered_reference(&comps, &nets, grid, &cfg, &defects).unwrap();
+    assert_eq!(fast, slow);
+}
+
+/// One test, not several: `MFB_THREADS` is process-global, so the
+/// comparisons must run on one thread of the harness.
+#[test]
+fn tempered_is_byte_identical_across_thread_counts() {
+    let run = |threads: &str| {
+        std::env::set_var("MFB_THREADS", threads);
+        let b = table1_benchmarks().swap_remove(6); // Synthetic4
+        let (comps, nets) = netlist_for(&b);
+        let grid = auto_grid(&comps);
+        let cfg = SaConfig::paper().with_chains(8);
+        place_sa_tempered(&comps, &nets, grid, &cfg, &DefectMap::pristine()).unwrap()
+    };
+    let serial = run("1");
+    let two = run("2");
+    let eight = run("8");
+    std::env::remove_var("MFB_THREADS");
+    assert_eq!(serial, two, "MFB_THREADS=2 changed the tempered placement");
+    assert_eq!(
+        serial, eight,
+        "MFB_THREADS=8 changed the tempered placement"
+    );
+}

@@ -1,0 +1,660 @@
+//! PathFinder-style negotiated-congestion router.
+//!
+//! The conflict-aware router ([`crate::router::route_dcsa`]) treats every
+//! time-window conflict as a hard wall: the A* may not enter an occupied
+//! `(cell, window)` at all, so tasks must be routed **serially** — each
+//! search needs the reservations of every earlier task. This module trades
+//! that wall for a *price*. Each negotiation sweep routes every unresolved
+//! task with [`find_path_soft`], where sharing a contested cell merely
+//! costs extra:
+//!
+//! ```text
+//! cost(cell) = base(cell)                       // length + ring tax + w(i)
+//!            + present(cell) · p · (sweep + 1)  // present-sharing penalty
+//!            + history(cell)                    // accumulated contention
+//! ```
+//!
+//! `present(cell)` counts foreign-fluid occupancies of the cell (from the
+//! *previous* sweep's path set) that clash with the task's own window —
+//! overlap or an unwashable residue gap, the same predicate the serial
+//! router uses to identify blockers. The multiplier rises every sweep, so
+//! early sweeps explore cheap shortcuts and later sweeps force divergence;
+//! `history` remembers cells that keep failing commit, pushing *both*
+//! parties of a persistent conflict elsewhere — the classic PathFinder
+//! negotiation (cf. McMurchie & Ebeling).
+//!
+//! Congestion on flow-based chips is as much *temporal* as spatial: the
+//! worst-contended cells are component access rings, which every consumer
+//! of that component must cross no matter how large the grid grows. A
+//! purely spatial detour cannot price such a conflict away, so each search
+//! also scans a bounded set of **candidate departures** (scheduled first,
+//! then earlier in 1-second steps towards the producer's end — the same
+//! flexibility the serial router exploits), pricing body cells on the
+//! candidate's transport leg so that shifting in time genuinely sheds
+//! present-sharing cost. Parked tail cells, which hold the channel-cached
+//! plug for the whole dwell, are hard-banned when clashing instead of
+//! priced (see [`search_task`]).
+//!
+//! # Determinism
+//!
+//! Each sweep is a **Jacobi** iteration: all tasks route against the path
+//! set of the previous sweep, never against a path produced in their own
+//! sweep. The searches of one sweep are therefore independent and are
+//! dispatched through [`par_map_ordered`], which returns results in input
+//! order no matter how many worker threads ran them; every mutation
+//! (path updates, history bumps, the commit walk) happens serially between
+//! sweeps in fixed `TaskId` order. The result is bit-identical for any
+//! `MFB_THREADS` — pinned by the golden suite in
+//! `tests/negotiate_equiv.rs`.
+//!
+//! # Convergence and fallback
+//!
+//! After each sweep the path set is *committed*: tasks are replayed in
+//! `TaskId` order onto a fresh [`RoutingGrid`] with the full hard
+//! feasibility check of [`RoutingGrid::feasible`]. A clean replay is a
+//! certified conflict-free routing and the sweep loop ends. Otherwise the
+//! conflicted tasks (both the task that failed to commit and the holders of
+//! the reservations it tripped over) re-route in the next sweep against
+//! risen prices. If [`NegotiationParams::max_iters`] sweeps do not
+//! converge, the router falls back to the serial conflict-aware router —
+//! so routability is **never worse** than [`crate::router::route_dcsa`].
+
+use crate::astar::{find_path_soft, AstarOptions, SearchScratch, SearchStats};
+use crate::error::RouteError;
+use crate::grid::RoutingGrid;
+use crate::router::{collect_washes, ports, RealizedTimes, RoutedPath, RouterConfig, Routing};
+use mfb_model::par::par_map_ordered;
+use mfb_model::prelude::*;
+use mfb_place::prelude::Placement;
+use mfb_sched::prelude::*;
+use std::collections::BTreeSet;
+
+/// Congestion-negotiation schedule (see the [module docs](self)).
+///
+/// Penalties are expressed in the router's cost ticks (0.1 s of wash
+/// weight; one grid cell of path length costs 10 ticks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NegotiationParams {
+    /// Maximum negotiation sweeps before falling back to the serial
+    /// conflict-aware router.
+    pub max_iters: u32,
+    /// Present-sharing penalty per clashing foreign occupancy, in ticks;
+    /// multiplied by the 1-based sweep number, so contested cells get
+    /// progressively more expensive.
+    pub present_step_ticks: u64,
+    /// History penalty, in ticks, added permanently to a cell each time a
+    /// committed conflict is discovered on it.
+    pub history_step_ticks: u64,
+}
+
+impl NegotiationParams {
+    /// Defaults tuned on the Table-1 suite: two path cells of initial
+    /// present penalty, one cell of history per failed commit, and enough
+    /// sweeps that dense instances converge well before the fallback.
+    pub fn paper_tuned() -> Self {
+        NegotiationParams {
+            max_iters: 24,
+            present_step_ticks: 20,
+            history_step_ticks: 10,
+        }
+    }
+}
+
+impl Default for NegotiationParams {
+    fn default() -> Self {
+        NegotiationParams::paper_tuned()
+    }
+}
+
+/// Routes every transport task of `schedule` by negotiated congestion on a
+/// pristine chip. See the [module docs](self).
+///
+/// # Errors
+///
+/// Same as [`crate::router::route_dcsa`] — the fallback path surfaces its
+/// errors verbatim, so a layout this router cannot converge on still routes
+/// whenever the serial router can.
+pub fn route_negotiated(
+    schedule: &Schedule,
+    graph: &SequencingGraph,
+    placement: &Placement,
+    wash: &dyn WashModel,
+    config: &RouterConfig,
+) -> Result<Routing, RouteError> {
+    let mut scratch = SearchScratch::new();
+    route_negotiated_with_scratch(
+        schedule,
+        graph,
+        placement,
+        wash,
+        config,
+        &DefectMap::pristine(),
+        &mut scratch,
+    )
+}
+
+/// [`route_negotiated`] under an execution [`Budget`]: the budget is
+/// installed on `scratch`, polled between negotiation sweeps, and handed
+/// through to the serial fallback (which also polls per task and every few
+/// thousand A* expansions).
+///
+/// # Errors
+///
+/// Same as [`route_negotiated`], plus [`RouteError::Interrupted`].
+#[allow(clippy::too_many_arguments)]
+pub fn route_negotiated_budgeted(
+    schedule: &Schedule,
+    graph: &SequencingGraph,
+    placement: &Placement,
+    wash: &dyn WashModel,
+    config: &RouterConfig,
+    defects: &DefectMap,
+    scratch: &mut SearchScratch,
+    budget: &Budget,
+) -> Result<Routing, RouteError> {
+    scratch.set_budget(budget);
+    let result =
+        route_negotiated_with_scratch(schedule, graph, placement, wash, config, defects, scratch);
+    scratch.set_budget(&Budget::unlimited());
+    result
+}
+
+/// [`route_negotiated`] on a damaged chip and a caller-owned
+/// [`SearchScratch`] (stats accumulate across calls; `mfb bench` reads
+/// negotiation counters from them).
+///
+/// # Errors
+///
+/// Same as [`route_negotiated`].
+pub fn route_negotiated_with_scratch(
+    schedule: &Schedule,
+    graph: &SequencingGraph,
+    placement: &Placement,
+    wash: &dyn WashModel,
+    config: &RouterConfig,
+    defects: &DefectMap,
+    scratch: &mut SearchScratch,
+) -> Result<Routing, RouteError> {
+    let _span = mfb_obs::obs_span!(
+        "route.negotiate",
+        tasks = schedule.transports().len() as u64
+    );
+    let params = config.negotiation;
+    let spec = placement.grid();
+    let n_cells = spec.cell_count() as usize;
+
+    // Wash times are pure per fluid; precomputing them keeps the per-sweep
+    // worker closures free of the `&dyn WashModel` borrow.
+    let wash_times: Vec<Duration> = schedule
+        .ops()
+        .map(|s| wash.wash_time(graph.op(s.op).output_diffusion()))
+        .collect();
+    let wash_of = |op: OpId| wash_times[op.index()];
+    let options = AstarOptions {
+        use_weights: config.wash_aware_weights,
+    };
+
+    // The structural grid: component interiors and defect cells, no
+    // reservations. Soft searches run here; occupancy lives in the path set.
+    let bare = RoutingGrid::new_with_defects(placement, config.w_e, defects);
+
+    let mut tasks: Vec<&TransportTask> = schedule.transports().collect();
+    tasks.sort_by_key(|t| t.id);
+    let n_tasks = tasks.len();
+
+    let mut task_ports: Vec<(Vec<CellPos>, Vec<CellPos>)> = Vec::with_capacity(n_tasks);
+    for t in &tasks {
+        let src = ports(placement, &bare, t.src);
+        if src.is_empty() {
+            return Err(RouteError::NoPorts { component: t.src });
+        }
+        let dst = ports(placement, &bare, t.dst);
+        if dst.is_empty() {
+            return Err(RouteError::NoPorts { component: t.dst });
+        }
+        task_ports.push((src, dst));
+    }
+
+    let mut paths: Vec<Option<(Vec<CellPos>, Vec<Interval>)>> = vec![None; n_tasks];
+    let mut history: Vec<u64> = vec![0; n_cells];
+    let mut reroute: BTreeSet<TaskId> = tasks.iter().map(|t| t.id).collect();
+    let mut sweeps = 0u64;
+    let mut stuck = false;
+    let mut committed: Option<RoutingGrid> = None;
+
+    for sweep in 0..params.max_iters {
+        if let Some(why) = scratch.poll_budget() {
+            return Err(RouteError::Interrupted(why));
+        }
+        sweeps += 1;
+
+        // --- Jacobi sweep: re-route the unresolved tasks against the
+        // previous sweep's path set, in parallel, results in input order.
+        let occupancy = build_occupancy(spec, &tasks, &paths);
+        let list: Vec<usize> = reroute.iter().map(|id| id.index()).collect();
+        let present_weight = params.present_step_ticks * (u64::from(sweep) + 1);
+        let results = par_map_ordered(list.len(), |k| {
+            let ti = list[k];
+            let t = tasks[ti];
+            let (src, dst) = &task_ports[ti];
+            let congestion = |c: CellPos, win: Interval| -> u64 {
+                let idx = spec.index(c);
+                let mut present = 0u64;
+                for &(holder, fl, w) in &occupancy[idx] {
+                    if holder == t.id || fl == t.fluid {
+                        continue;
+                    }
+                    if clashes(win, t.fluid, w, fl, wash_of) {
+                        present += 1;
+                    }
+                }
+                present * present_weight + history[idx]
+            };
+            with_worker_scratch(|ws| {
+                let before = ws.stats;
+                let found = search_task(
+                    ws,
+                    &bare,
+                    schedule,
+                    t,
+                    src,
+                    dst,
+                    config.plug_cells,
+                    congestion,
+                    options,
+                );
+                (found, stats_delta(before, ws.stats))
+            })
+        });
+        for (k, (found, delta)) in results.into_iter().enumerate() {
+            add_stats(&mut scratch.stats, delta);
+            match found {
+                Some(pw) => paths[list[k]] = Some(pw),
+                // Structurally disconnected: negotiation cannot help, let
+                // the serial router (with its departure scan and remote
+                // parking) have the final word.
+                None => stuck = true,
+            }
+        }
+        if stuck {
+            break;
+        }
+
+        // --- Commit: replay the whole path set in TaskId order onto a
+        // fresh grid under the full hard feasibility check.
+        let mut grid = RoutingGrid::new_with_defects(placement, config.w_e, defects);
+        let mut conflicted: BTreeSet<TaskId> = BTreeSet::new();
+        for (ti, t) in tasks.iter().enumerate() {
+            let Some((cells, windows)) = &paths[ti] else {
+                return Err(RouteError::InconsistentSchedule { task: t.id });
+            };
+            let mut ok = true;
+            for (&cell, &window) in cells.iter().zip(windows) {
+                if grid.feasible(cell, window, t.fluid, wash_of) {
+                    continue;
+                }
+                ok = false;
+                history[spec.index(cell)] += params.history_step_ticks;
+                // Blame the holders too: both parties of a persistent
+                // conflict must feel the price and consider moving.
+                for r in grid.reservations(cell) {
+                    if r.fluid != t.fluid && clashes(window, t.fluid, r.window, r.fluid, wash_of) {
+                        conflicted.insert(r.task);
+                    }
+                }
+            }
+            if ok {
+                for (&cell, &window) in cells.iter().zip(windows) {
+                    grid.reserve(cell, t.id, t.fluid, window, wash_of);
+                }
+            } else {
+                conflicted.insert(t.id);
+            }
+        }
+        if conflicted.is_empty() {
+            committed = Some(grid);
+            break;
+        }
+        reroute = conflicted;
+    }
+
+    scratch.stats.negotiation_iters += sweeps;
+    if mfb_obs::enabled() {
+        mfb_obs::obs_counter!("route.negotiation_iter", sweeps);
+    }
+
+    match committed {
+        Some(grid) => {
+            let washes = collect_washes(&grid, wash_of);
+            let mut routed = Vec::with_capacity(n_tasks);
+            for (ti, t) in tasks.iter().enumerate() {
+                let (cells, windows) = paths[ti]
+                    .take()
+                    .unwrap_or_else(|| unreachable!("committed grid implies a path per task"));
+                routed.push(RoutedPath {
+                    task: t.id,
+                    fluid: t.fluid,
+                    cells,
+                    windows,
+                });
+            }
+            Ok(Routing {
+                paths: routed,
+                channel_washes: washes,
+                realized: RealizedTimes::from_schedule(schedule),
+                grid: spec,
+                used_cells: grid.used_cell_count(),
+            })
+        }
+        None => {
+            // Negotiation did not converge (or hit a structural dead end):
+            // the serial conflict-aware router guarantees strictly-no-worse
+            // routability.
+            mfb_obs::obs_counter!("route.negotiation_fallback", 1);
+            crate::router::route_dcsa_with_scratch(
+                schedule, graph, placement, wash, config, defects, scratch,
+            )
+        }
+    }
+}
+
+/// Candidate departures scanned per task per sweep. The serial router's
+/// scan runs 1-second steps all the way back to the producer's end; a
+/// negotiation sweep bounds the same scan so one sweep's cost stays
+/// proportional to the task count (a conflict surviving all candidates
+/// re-scans next sweep against higher prices, and the serial fallback
+/// retains the unbounded scan).
+const MAX_DEPARTS: u32 = 16;
+
+/// One task's soft search with the serial router's departure flexibility:
+/// the scheduler's departure is as late as possible, and departing earlier
+/// only lengthens the channel-cache dwell, so candidate departures scan
+/// from the scheduled one backwards towards the producer's end. The first
+/// candidate whose path prices to zero congestion wins; otherwise the
+/// cheapest candidate carries into commit.
+///
+/// Body cells are priced on their transport leg `[depart, depart + t_c)`
+/// — that is what makes an earlier departure actually shed congestion —
+/// while the last `plug_cells` tail cells hold the plug for the whole
+/// `[depart, consumed_at)` dwell and are therefore *hard-banned* when
+/// their dwell clashes with the previous sweep's occupancy (like
+/// foreign-ring cells, mirroring [`crate::router::find_parked_path`]'s
+/// parking rule): a parked conflict cannot be priced away by a cell the
+/// A* only values during transport.
+#[allow(clippy::too_many_arguments)]
+fn search_task(
+    scratch: &mut SearchScratch,
+    bare: &RoutingGrid,
+    schedule: &Schedule,
+    t: &TransportTask,
+    src: &[CellPos],
+    dst: &[CellPos],
+    plug_cells: u32,
+    congestion: impl Fn(CellPos, Interval) -> u64 + Copy,
+    options: AstarOptions,
+) -> Option<(Vec<CellPos>, Vec<Interval>)> {
+    let producer_end = schedule.op(t.fluid).end;
+    let step = Duration::from_secs(1);
+    let mut depart = t.depart;
+    let mut best: Option<(u64, Vec<CellPos>, Vec<Interval>)> = None;
+    for _candidate in 0..MAX_DEPARTS {
+        let transport = Interval::new(depart, depart + schedule.t_c);
+        let full = Interval::new(depart, t.consumed_at);
+        if let Some((cost, path, windows)) = search_at(
+            scratch, bare, src, dst, plug_cells, transport, full, congestion, options,
+        ) {
+            if cost == 0 {
+                return Some((path, windows));
+            }
+            if best.as_ref().map_or(true, |(b, _, _)| cost < *b) {
+                best = Some((cost, path, windows));
+            }
+        }
+        if depart <= producer_end {
+            break;
+        }
+        depart = if depart.saturating_duration_since(producer_end) <= step {
+            producer_end
+        } else {
+            depart - step
+        };
+    }
+    best.map(|(_, path, windows)| (path, windows))
+}
+
+/// The banned-retry search for one candidate departure. Returns the path,
+/// its per-cell windows, and its total congestion price (body cells on the
+/// transport leg; tail cells are clash-free by construction).
+#[allow(clippy::too_many_arguments)]
+fn search_at(
+    scratch: &mut SearchScratch,
+    bare: &RoutingGrid,
+    src: &[CellPos],
+    dst: &[CellPos],
+    plug_cells: u32,
+    transport: Interval,
+    full: Interval,
+    congestion: impl Fn(CellPos, Interval) -> u64 + Copy,
+    options: AstarOptions,
+) -> Option<(u64, Vec<CellPos>, Vec<Interval>)> {
+    let mut banned: BTreeSet<CellPos> = BTreeSet::new();
+    let mut previous: Option<Vec<CellPos>> = None;
+    for _attempt in 0..64 {
+        let hard_ok = |c: CellPos| !banned.contains(&c);
+        let priced = |c: CellPos| congestion(c, transport);
+        let path = find_path_soft(scratch, bare, src, dst, hard_ok, priced, options)?;
+        if previous.as_deref() == Some(path.as_slice()) {
+            return None; // banning made no progress
+        }
+        let k = (plug_cells.max(1) as usize).min(path.len());
+        let tail_start = path.len() - k;
+        let mut ok = true;
+        for &c in &path[tail_start..] {
+            // Cached plugs may not park on a foreign component's access
+            // ring — a long-lived plug there would wall the component in —
+            // nor on a cell whose full-dwell window clashes with the
+            // previous sweep's occupancy (see [`search_task`]).
+            let foreign_ring = bare.is_ring(c) && !dst.contains(&c) && !src.contains(&c);
+            if foreign_ring || congestion(c, full) > 0 {
+                banned.insert(c);
+                ok = false;
+            }
+        }
+        if ok {
+            let cost = path[..tail_start].iter().map(|&c| priced(c)).sum();
+            let windows = (0..path.len())
+                .map(|i| if i >= tail_start { full } else { transport })
+                .collect();
+            return Some((cost, path, windows));
+        }
+        previous = Some(path);
+    }
+    None
+}
+
+/// The clash predicate shared with the serial router's blocker detection:
+/// two occupancies of one cell conflict when their windows overlap, or when
+/// the earlier residue cannot be washed before the later use begins.
+fn clashes(
+    ours: Interval,
+    our_fluid: OpId,
+    theirs: Interval,
+    their_fluid: OpId,
+    wash_of: impl Fn(OpId) -> Duration,
+) -> bool {
+    theirs.overlaps(ours)
+        || (theirs.end <= ours.start && theirs.end + wash_of(their_fluid) > ours.start)
+        || (ours.end <= theirs.start && ours.end + wash_of(our_fluid) > theirs.start)
+}
+
+/// Per-cell occupancy snapshot of the previous sweep's path set:
+/// `(holder, fluid, window)` triples, in `TaskId` order per cell.
+fn build_occupancy(
+    spec: GridSpec,
+    tasks: &[&TransportTask],
+    paths: &[Option<(Vec<CellPos>, Vec<Interval>)>],
+) -> Vec<Vec<(TaskId, OpId, Interval)>> {
+    let mut occ: Vec<Vec<(TaskId, OpId, Interval)>> = vec![Vec::new(); spec.cell_count() as usize];
+    for (ti, t) in tasks.iter().enumerate() {
+        if let Some((cells, windows)) = &paths[ti] {
+            for (&cell, &window) in cells.iter().zip(windows) {
+                occ[spec.index(cell)].push((t.id, t.fluid, window));
+            }
+        }
+    }
+    occ
+}
+
+/// Runs `f` on this worker thread's reusable [`SearchScratch`]. Workers are
+/// scoped per sweep, so the arena amortizes across the tasks one worker
+/// picks up within a sweep (and across sweeps in the serial case); the
+/// memoization is per-query, so reuse never changes results.
+fn with_worker_scratch<R>(f: impl FnOnce(&mut SearchScratch) -> R) -> R {
+    use std::cell::RefCell;
+    thread_local! {
+        static SCRATCH: RefCell<SearchScratch> = RefCell::new(SearchScratch::new());
+    }
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// Field-wise `after - before` of two cumulative counter snapshots.
+fn stats_delta(before: SearchStats, after: SearchStats) -> SearchStats {
+    SearchStats {
+        queries: after.queries - before.queries,
+        expansions: after.expansions - before.expansions,
+        heap_pushes: after.heap_pushes - before.heap_pushes,
+        window_retries: after.window_retries - before.window_retries,
+        rips: after.rips - before.rips,
+        negotiation_iters: after.negotiation_iters - before.negotiation_iters,
+    }
+}
+
+/// Accumulates a worker's counter delta into the caller's stats. Deltas are
+/// summed in input order, so the totals are identical for any thread count.
+fn add_stats(into: &mut SearchStats, d: SearchStats) {
+    into.queries += d.queries;
+    into.expansions += d.expansions;
+    into.heap_pushes += d.heap_pushes;
+    into.window_retries += d.window_retries;
+    into.rips += d.rips;
+    into.negotiation_iters += d.negotiation_iters;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfb_sched::list::{schedule as run_sched, SchedulerConfig};
+
+    fn d_wash(secs: f64) -> DiffusionCoefficient {
+        LogLinearWash::paper_calibrated().coefficient_for(Duration::from_secs_f64(secs))
+    }
+
+    fn wash() -> LogLinearWash {
+        LogLinearWash::paper_calibrated()
+    }
+
+    fn chain_setup() -> (SequencingGraph, Schedule, Placement) {
+        let mut b = SequencingGraph::builder();
+        let m = b.operation(OperationKind::Mix, Duration::from_secs(5), d_wash(4.0));
+        let h = b.operation(OperationKind::Heat, Duration::from_secs(3), d_wash(2.0));
+        let dt = b.operation(OperationKind::Detect, Duration::from_secs(4), d_wash(0.2));
+        b.chain(&[m, h, dt]).unwrap();
+        let g = b.build().unwrap();
+        let comps = Allocation::new(1, 1, 0, 1).instantiate(&ComponentLibrary::default());
+        let s = run_sched(&g, &comps, &wash(), &SchedulerConfig::paper_dcsa()).unwrap();
+        let placement = Placement::new(
+            GridSpec::square(16),
+            vec![
+                CellRect::new(CellPos::new(1, 1), 4, 3),
+                CellRect::new(CellPos::new(8, 1), 3, 2),
+                CellRect::new(CellPos::new(8, 8), 2, 2),
+            ],
+        );
+        assert!(placement.is_legal());
+        (g, s, placement)
+    }
+
+    #[test]
+    fn negotiated_routes_conflict_free_and_on_time() {
+        let (g, s, placement) = chain_setup();
+        let r = route_negotiated(&s, &g, &placement, &wash(), &RouterConfig::paper()).unwrap();
+        assert_eq!(r.completion(), s.completion_time());
+        assert_eq!(r.paths.len(), s.transports().count());
+        for i in 0..r.paths.len() {
+            for j in (i + 1)..r.paths.len() {
+                assert!(
+                    !r.paths[i].conflicts_with(&r.paths[j]),
+                    "tasks {i} and {j} conflict"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn negotiated_is_deterministic_under_rerun() {
+        let (g, s, placement) = chain_setup();
+        let cfg = RouterConfig::paper();
+        let a = route_negotiated(&s, &g, &placement, &wash(), &cfg).unwrap();
+        let b = route_negotiated(&s, &g, &placement, &wash(), &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_sweep_budget_falls_back_to_serial_router() {
+        let (g, s, placement) = chain_setup();
+        let cfg = RouterConfig {
+            negotiation: NegotiationParams {
+                max_iters: 0,
+                ..NegotiationParams::paper_tuned()
+            },
+            ..RouterConfig::paper()
+        };
+        let negotiated = route_negotiated(&s, &g, &placement, &wash(), &cfg).unwrap();
+        let serial =
+            crate::router::route_dcsa(&s, &g, &placement, &wash(), &RouterConfig::paper()).unwrap();
+        assert_eq!(negotiated, serial);
+    }
+
+    #[test]
+    fn cancelled_budget_interrupts() {
+        let (g, s, placement) = chain_setup();
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_cancel(token);
+        let mut scratch = SearchScratch::new();
+        let err = route_negotiated_budgeted(
+            &s,
+            &g,
+            &placement,
+            &wash(),
+            &RouterConfig::paper(),
+            &DefectMap::pristine(),
+            &mut scratch,
+            &budget,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RouteError::Interrupted(_)));
+    }
+
+    #[test]
+    fn respects_defect_mask() {
+        let (g, s, placement) = chain_setup();
+        let mut defects = DefectMap::pristine();
+        let dead = CellPos::new(6, 5);
+        defects.block_cell(dead);
+        let mut scratch = SearchScratch::new();
+        let r = route_negotiated_with_scratch(
+            &s,
+            &g,
+            &placement,
+            &wash(),
+            &RouterConfig::paper(),
+            &defects,
+            &mut scratch,
+        )
+        .unwrap();
+        for p in &r.paths {
+            assert!(!p.cells.contains(&dead), "path crosses a blocked cell");
+        }
+    }
+}

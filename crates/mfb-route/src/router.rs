@@ -32,6 +32,10 @@ pub struct RouterConfig {
     /// window; cells merely passed through are occupied for the transport
     /// leg only. Values below 1 are treated as 1.
     pub plug_cells: u32,
+    /// Congestion-negotiation schedule, used only by the PathFinder-style
+    /// [`crate::negotiate::route_negotiated`] family; the conflict-aware
+    /// and baseline routers ignore it.
+    pub negotiation: crate::negotiate::NegotiationParams,
 }
 
 impl RouterConfig {
@@ -42,6 +46,7 @@ impl RouterConfig {
             w_e: Duration::from_secs(10),
             wash_aware_weights: true,
             plug_cells: 1,
+            negotiation: crate::negotiate::NegotiationParams::paper_tuned(),
         }
     }
 }
@@ -664,6 +669,7 @@ fn route_dcsa_ordered(
                     grid.unreserve(b, wash_of);
                     paths[b.index()] = None;
                     rip_count[b.index()] += 1;
+                    scratch.stats.rips += 1;
                 }
                 // Retry this task first, then the ripped ones in id order.
                 let mut ripped: Vec<&TransportTask> =

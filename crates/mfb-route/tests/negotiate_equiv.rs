@@ -1,0 +1,113 @@
+//! Golden suite for the negotiated-congestion router.
+//!
+//! Pins the three properties the second perf wave promises:
+//!
+//! 1. the negotiated router's output is certified conflict-free (pairwise
+//!    [`RoutedPath::conflicts_with`]) and never delays the schedule;
+//! 2. it routes the dense 100-op Synthetic5 rung — congestion that the
+//!    soft-cost negotiation must actually resolve — without `Unroutable`;
+//! 3. the routing is byte-identical across `MFB_THREADS` values (the
+//!    Jacobi-sweep + ordered-collection design), checked in a single
+//!    `#[test]` because `MFB_THREADS` is process-global.
+
+use mfb_bench_suite::{benchmark_by_name, dense_benchmark, Benchmark};
+use mfb_model::prelude::*;
+use mfb_place::prelude::*;
+use mfb_route::prelude::*;
+use mfb_sched::list::{schedule, SchedulerConfig};
+use mfb_sched::prelude::Schedule;
+
+/// Schedule and place `b` the way the synthesis flow would: `auto_grid`
+/// grown by the recovery ladder's 4/3-linear steps until the serial DCSA
+/// router succeeds, so the negotiated router is tested on a fair grid.
+fn prepared(b: &Benchmark) -> (Schedule, Placement) {
+    let lib = ComponentLibrary::default();
+    let comps = b.components(&lib);
+    let wash = LogLinearWash::paper_calibrated();
+    let s = schedule(&b.graph, &comps, &wash, &SchedulerConfig::paper_dcsa()).unwrap();
+    let nets = NetList::build(&s, &b.graph, &wash, 0.6, 0.4);
+    let sa_cfg = SaConfig::paper();
+    let base = auto_grid(&comps);
+    for step in 0..=3u32 {
+        let f = 4u64.pow(step);
+        let d = 3u64.pow(step);
+        let side = |v: u32| ((u64::from(v) * f / d) as u32).max(v);
+        let grid = GridSpec::new(side(base.width), side(base.height), base.pitch_mm);
+        let Ok(p) = place_sa(&comps, &nets, grid, &sa_cfg) else {
+            continue;
+        };
+        let mut scratch = SearchScratch::new();
+        if route_dcsa_with_scratch(
+            &s,
+            &b.graph,
+            &p,
+            &wash,
+            &RouterConfig::paper(),
+            &DefectMap::pristine(),
+            &mut scratch,
+        )
+        .is_ok()
+        {
+            return (s, p);
+        }
+    }
+    panic!("no routable grid for {}", b.name);
+}
+
+fn assert_conflict_free(r: &Routing) {
+    for i in 0..r.paths.len() {
+        for j in (i + 1)..r.paths.len() {
+            assert!(
+                !r.paths[i].conflicts_with(&r.paths[j]),
+                "paths {i} and {j} conflict"
+            );
+        }
+    }
+}
+
+#[test]
+fn negotiated_is_conflict_free_on_benchmarks() {
+    let wash = LogLinearWash::paper_calibrated();
+    for name in ["CPA", "Synthetic4"] {
+        let b = benchmark_by_name(name).unwrap();
+        let (s, p) = prepared(&b);
+        let r = route_negotiated(&s, &b.graph, &p, &wash, &RouterConfig::paper()).unwrap();
+        assert_eq!(r.completion(), s.completion_time(), "{name} delayed");
+        assert_eq!(r.paths.len(), s.transports().count(), "{name} lost tasks");
+        assert_conflict_free(&r);
+    }
+}
+
+#[test]
+fn negotiated_routes_dense_synthetic5() {
+    let wash = LogLinearWash::paper_calibrated();
+    let b = dense_benchmark();
+    let (s, p) = prepared(&b);
+    let r = route_negotiated(&s, &b.graph, &p, &wash, &RouterConfig::paper())
+        .expect("Synthetic5 must route without Unroutable");
+    assert_eq!(r.completion(), s.completion_time());
+    assert_eq!(r.paths.len(), s.transports().count());
+    assert_conflict_free(&r);
+}
+
+/// One test, not several: `MFB_THREADS` is process-global, so the
+/// comparisons must run on one harness thread.
+#[test]
+fn negotiated_is_byte_identical_across_thread_counts() {
+    let b = benchmark_by_name("Synthetic4").unwrap();
+    let (s, p) = prepared(&b);
+    let wash = LogLinearWash::paper_calibrated();
+    let run = |threads: &str| {
+        std::env::set_var("MFB_THREADS", threads);
+        route_negotiated(&s, &b.graph, &p, &wash, &RouterConfig::paper()).unwrap()
+    };
+    let serial = run("1");
+    let two = run("2");
+    let eight = run("8");
+    std::env::remove_var("MFB_THREADS");
+    assert_eq!(serial, two, "MFB_THREADS=2 changed the negotiated routing");
+    assert_eq!(
+        serial, eight,
+        "MFB_THREADS=8 changed the negotiated routing"
+    );
+}

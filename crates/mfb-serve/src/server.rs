@@ -856,15 +856,7 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
     };
 
     shared.running.fetch_sub(1, Ordering::SeqCst);
-    finish_job(
-        shared,
-        id,
-        &client,
-        result,
-        attempts,
-        outcome,
-        trace_jsonl,
-    );
+    finish_job(shared, id, &client, result, attempts, outcome, trace_jsonl);
 }
 
 fn finish_job(
