@@ -18,15 +18,20 @@
 //!
 //! * `"bench"` — a Table-I benchmark name (`"PCR"`, `"IVD"`, `"CPA"`,
 //!   `"Synthetic1"`…`"Synthetic4"`, case-insensitive, `"synth3"` accepted);
-//! * `"assay"` — a path to an assay text file (relative paths resolve
-//!   against the manifest's directory) whose `allocation` header is
-//!   required, since a batch job needs concrete components.
+//! * `"assay"` — an assay in the `.assay` DSL, given either as a path to
+//!   a file (relative paths resolve against the manifest's directory) or
+//!   as inline source (any value containing a newline is treated as
+//!   source, not a path). Either way the assay must carry an `alloc`
+//!   line, since a batch job needs concrete components; its `flow` and
+//!   `defect` statements are honored, with the entry-level fields below
+//!   taking precedence.
 //!
 //! Optional per-entry fields:
 //!
-//! * `"name"` — display-name override (defaults to the bench name or the
-//!   assay file stem);
+//! * `"name"` — display-name override (defaults to the bench name, the
+//!   assay file stem, or an inline assay's declared name);
 //! * `"flow"` — `"dcsa"`/`"ours"` (default) or `"ba"`/`"baseline"`;
+//!   overrides the assay file's own `flow` statement;
 //! * `"seed"` — annealing seed override;
 //! * `"t_c_secs"` — transport-time constant override, seconds;
 //! * `"defects"` — an inline [`DefectMap`] JSON object;
@@ -176,7 +181,7 @@ fn parse_entry(
             .ok_or_else(|| schema(format!("job {idx}: \"assay\" must be a string")))
     });
 
-    let (default_name, graph, components) = match (bench, assay) {
+    let (default_name, graph, components, file_flow, file_defects) = match (bench, assay) {
         (Some(bench), None) => {
             let bench = bench?;
             let b = mfb_bench_suite::benchmark_by_name(&bench).ok_or_else(|| {
@@ -185,28 +190,49 @@ fn parse_entry(
                 ))
             })?;
             let components = b.components(library);
-            (b.name.to_owned(), b.graph, components)
+            (
+                b.name.to_owned(),
+                b.graph,
+                components,
+                FlowDecl::default(),
+                DefectMap::pristine(),
+            )
         }
         (None, Some(assay)) => {
             let assay = assay?;
-            let path = base_dir.join(&assay);
-            let text = std::fs::read_to_string(&path).map_err(|e| {
-                ManifestError::Assay(format!("job {idx}: cannot read {}: {e}", path.display()))
-            })?;
-            let file = parse_assay(&text)
-                .map_err(|e| ManifestError::Assay(format!("job {idx}: {}: {e}", path.display())))?;
+            // A value with a newline cannot be a path: treat it as inline
+            // DSL source so manifests (and `mfb serve` submissions built
+            // on them) can carry self-contained assays.
+            let (text, origin, default_name) = if assay.contains('\n') {
+                (assay, format!("job {idx} inline assay"), None)
+            } else {
+                let path = base_dir.join(&assay);
+                let text = std::fs::read_to_string(&path).map_err(|e| {
+                    ManifestError::Assay(format!("job {idx}: cannot read {}: {e}", path.display()))
+                })?;
+                let stem = Path::new(&assay)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or(assay);
+                (text, format!("job {idx}: {}", path.display()), Some(stem))
+            };
+            let file =
+                parse_assay(&text).map_err(|e| ManifestError::Assay(format!("{origin}: {e}")))?;
             let allocation = file.allocation.ok_or_else(|| {
                 ManifestError::Assay(format!(
-                    "job {idx}: {} has no `allocation` header (batch jobs need one)",
-                    path.display()
+                    "{origin} has no `alloc` line (batch jobs need one)"
                 ))
             })?;
             let components = allocation.instantiate(library);
-            let stem = Path::new(&assay)
-                .file_stem()
-                .map(|s| s.to_string_lossy().into_owned())
-                .unwrap_or(assay);
-            (stem, file.graph, components)
+            let name = default_name.unwrap_or_else(|| {
+                let declared = file.graph.name().trim();
+                if declared.is_empty() {
+                    "inline".to_owned()
+                } else {
+                    declared.to_owned()
+                }
+            });
+            (name, file.graph, components, file.flow, file.defects)
         }
         (Some(_), Some(_)) => {
             return Err(schema(format!(
@@ -220,8 +246,14 @@ fn parse_entry(
         }
     };
 
+    // Precedence: an entry-level "flow" beats the assay file's own `flow`
+    // statement; the file's `t_c=`/`seed=` overlay the base config but lose
+    // to the entry's "t_c_secs"/"seed" below.
     let mut config = match entry.get("flow") {
-        None => SynthesisConfig::paper_dcsa(),
+        None => match file_flow.kind {
+            Some(FlowKind::Baseline) => SynthesisConfig::paper_baseline(),
+            _ => SynthesisConfig::paper_dcsa(),
+        },
         Some(v) => match v.as_str() {
             Some("dcsa") | Some("ours") => SynthesisConfig::paper_dcsa(),
             Some("ba") | Some("baseline") => SynthesisConfig::paper_baseline(),
@@ -232,6 +264,12 @@ fn parse_entry(
             }
         },
     };
+    if let Some(t_c) = file_flow.t_c {
+        config.t_c = t_c;
+    }
+    if let Some(seed) = file_flow.seed {
+        config = config.with_seed(seed);
+    }
     if let Some(v) = entry.get("seed") {
         let seed = v
             .as_u64()
@@ -259,12 +297,15 @@ fn parse_entry(
     let mut job = BatchJob::new(name, graph, components, config);
     if let Some(v) = entry.get("defects") {
         // Re-encode the sub-value and decode it as a DefectMap; the shim's
-        // Value is serde::Content, which round-trips losslessly.
+        // Value is serde::Content, which round-trips losslessly. An entry's
+        // "defects" replaces any `defect` statements in the assay file.
         let text =
             serde_json::to_string(v).map_err(|e| schema(format!("job {idx}: \"defects\": {e}")))?;
         let defects: DefectMap = serde_json::from_str(&text)
             .map_err(|e| schema(format!("job {idx}: \"defects\" is not a defect map: {e}")))?;
         job = job.with_defects(defects);
+    } else if !file_defects.is_pristine() {
+        job = job.with_defects(file_defects);
     }
     Ok(job)
 }
@@ -352,6 +393,90 @@ mod tests {
         let msg = err.to_string();
         assert!(matches!(err, ManifestError::Json(_)), "{msg}");
         assert!(msg.contains("line 3"), "{msg}");
+    }
+
+    /// A self-contained inline assay used by the DSL-entry tests.
+    const INLINE_ASSAY: &str = "assay-dsl 1\nassay \"drop-in\"\n\nop a mix 5s wash=2s\nop b detect 4s wash=1s\n\nedge a -> b\n\nflow baseline t_c=3s seed=9\ndefect block 2 3\n\nalloc 1 0 0 1\n";
+
+    /// Encodes a string as a JSON string literal (the shim has no `json!`).
+    fn json_str(s: &str) -> String {
+        serde_json::to_string(&s.to_owned()).unwrap()
+    }
+
+    #[test]
+    fn inline_assay_entries_parse_and_honor_file_statements() {
+        let manifest = format!(r#"[ {{ "assay": {} }} ]"#, json_str(INLINE_ASSAY));
+        let jobs = parse_manifest(&manifest, Path::new("/nonexistent")).unwrap();
+        assert_eq!(jobs.len(), 1);
+        // Name comes from the assay's own `assay` statement.
+        assert_eq!(jobs[0].name, "drop-in");
+        // `flow baseline t_c=3s seed=9` all land in the config.
+        assert_eq!(
+            jobs[0].config.binding,
+            SynthesisConfig::paper_baseline().binding
+        );
+        assert_eq!(jobs[0].config.t_c, Duration::from_secs(3));
+        assert_eq!(
+            jobs[0].config.sa.seed,
+            SynthesisConfig::paper_baseline().with_seed(9).sa.seed
+        );
+        // `defect block 2 3` lands in the job's defect map.
+        assert!(jobs[0].defects.is_blocked(CellPos::new(2, 3)));
+    }
+
+    #[test]
+    fn entry_fields_override_inline_assay_statements() {
+        let pristine = serde_json::to_string(&DefectMap::pristine()).unwrap();
+        let manifest = format!(
+            r#"[ {{ "assay": {}, "name": "renamed", "flow": "ours", "t_c_secs": 7.0, "defects": {pristine} }} ]"#,
+            json_str(INLINE_ASSAY)
+        );
+        let jobs = parse_manifest(&manifest, Path::new(".")).unwrap();
+        assert_eq!(jobs[0].name, "renamed");
+        assert_eq!(
+            jobs[0].config.binding,
+            SynthesisConfig::paper_dcsa().binding
+        );
+        assert_eq!(jobs[0].config.t_c, Duration::from_secs(7));
+        // Entry "defects" replaces the file's `defect` statements entirely.
+        assert!(jobs[0].defects.is_pristine());
+        // The file's seed still applies: the entry did not override it.
+        assert_eq!(
+            jobs[0].config.sa.seed,
+            SynthesisConfig::paper_dcsa().with_seed(9).sa.seed
+        );
+    }
+
+    #[test]
+    fn inline_and_path_assays_share_schedule_keys() {
+        let dir = std::env::temp_dir().join("mfb_manifest_inline_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("drop_in.assay");
+        std::fs::write(&path, INLINE_ASSAY).unwrap();
+
+        let inline = format!(
+            r#"[ {{ "assay": {}, "name": "same" }} ]"#,
+            json_str(INLINE_ASSAY)
+        );
+        let by_path = r#"[ { "assay": "drop_in.assay", "name": "same" } ]"#;
+        let a = parse_manifest(&inline, Path::new(".")).unwrap();
+        let b = parse_manifest(by_path, &dir).unwrap();
+        assert_eq!(a[0].schedule_key(), b[0].schedule_key());
+        assert_eq!(a[0].defects, b[0].defects);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn inline_assay_errors_cite_the_entry_not_a_path() {
+        let manifest = format!(
+            r#"[ {{ "assay": {} }} ]"#,
+            json_str("assay-dsl 1\nop a mix 0s wash=1s\n")
+        );
+        let err = parse_manifest(&manifest, Path::new("."))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("job 0 inline assay"), "{err}");
+        assert!(err.contains("line 2"), "{err}");
     }
 
     #[test]

@@ -65,6 +65,7 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<ExitCode, String> {
         "motivating" => cmd_motivating().map(ok),
         "run" => cmd_run(rest),
         "run-file" => cmd_run_file(rest),
+        "fmt" => cmd_fmt(rest),
         "audit" => cmd_audit(rest).map(ok),
         "events" => cmd_events(rest).map(ok),
         "validate" => cmd_validate(rest).map(ok),
@@ -205,7 +206,13 @@ USAGE:
                                    synthesis runs past the budget
     mfb run-file <file.assay>      synthesize a user-defined assay
                                    (same options as `run`; the file must
-                                   contain an `alloc` line)
+                                   contain an `alloc` line; `flow` and
+                                   `defect` statements in the file are
+                                   honored, `--flow` overriding the former)
+    mfb fmt <file.assay>... [--check]
+                                   rewrite assay files in the canonical
+                                   DSL form; with --check, exit 1 if any
+                                   file is not already canonical (for CI)
     mfb audit <bench>              physical audits of a synthesized chip:
                                    transport-time slack under a pressure-
                                    driven flow model, occupied area vs a
@@ -515,9 +522,76 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
+/// The synthesis configuration for an assay: an explicit `--flow` flag
+/// wins, then the file's own `flow` statement, then the paper's DCSA
+/// flow; the file's `t_c=`/`seed=` settings overlay the base either way.
+fn config_for_flow(flag: Option<&str>, file: &FlowDecl) -> Result<SynthesisConfig, String> {
+    let mut config = match flag {
+        Some("ours") | Some("dcsa") => SynthesisConfig::paper_dcsa(),
+        Some("ba") | Some("baseline") => SynthesisConfig::paper_baseline(),
+        Some(other) => {
+            return Err(format!(
+                "unknown flow `{other}` (expected ours|dcsa|ba|baseline)"
+            ))
+        }
+        None => match file.kind {
+            Some(FlowKind::Baseline) => SynthesisConfig::paper_baseline(),
+            _ => SynthesisConfig::paper_dcsa(),
+        },
+    };
+    if let Some(t_c) = file.t_c {
+        config.t_c = t_c;
+    }
+    if let Some(seed) = file.seed {
+        config = config.with_seed(seed);
+    }
+    Ok(config)
+}
+
+/// `mfb fmt <file.assay>... [--check]`: rewrites assay files into the
+/// canonical DSL form (or, with `--check`, exits 1 if any file differs
+/// without touching it).
+fn cmd_fmt(args: &[String]) -> Result<ExitCode, String> {
+    let mut check = false;
+    let mut files: Vec<String> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--check" => check = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unexpected argument `{other}`"))
+            }
+            other => files.push(other.to_string()),
+        }
+    }
+    if files.is_empty() {
+        return Err("usage: mfb fmt <file.assay>... [--check]".into());
+    }
+    let mut dirty = 0usize;
+    for file in &files {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+        let ast = parse_assay_ast(&text).map_err(|e| format!("{file}: {e}"))?;
+        let formatted = write_assay_ast(&ast);
+        if formatted == text {
+            continue;
+        }
+        if check {
+            eprintln!("{file}: not canonically formatted (run `mfb fmt {file}`)");
+            dirty += 1;
+        } else {
+            std::fs::write(file, &formatted).map_err(|e| format!("writing {file}: {e}"))?;
+            println!("{file}: reformatted");
+        }
+    }
+    Ok(if dirty > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
 fn cmd_run_file(args: &[String]) -> Result<ExitCode, String> {
     let mut file: Option<String> = None;
-    let mut flow = "ours".to_string();
+    let mut flow: Option<String> = None;
     let mut svg_out: Option<String> = None;
     let mut want_map = false;
     let mut want_gantt = false;
@@ -525,7 +599,7 @@ fn cmd_run_file(args: &[String]) -> Result<ExitCode, String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--flow" => flow = it.next().ok_or("--flow needs a value")?.clone(),
+            "--flow" => flow = Some(it.next().ok_or("--flow needs a value")?.clone()),
             "--svg" => svg_out = Some(it.next().ok_or("--svg needs a file")?.clone()),
             "--map" => want_map = true,
             "--gantt" => want_gantt = true,
@@ -541,17 +615,13 @@ fn cmd_run_file(args: &[String]) -> Result<ExitCode, String> {
         .allocation
         .ok_or("the assay file must contain an `alloc M H F D` line")?;
     let comps = alloc.instantiate(&ComponentLibrary::default());
-    let synth = match flow.as_str() {
-        "ours" => Synthesizer::paper_dcsa(),
-        "ba" => Synthesizer::paper_baseline(),
-        other => return Err(format!("unknown flow `{other}` (expected ours|ba)")),
-    };
+    let synth = Synthesizer::new(config_for_flow(flow.as_deref(), &assay.flow)?);
     let solution = synth
         .synthesize_with(
             &assay.graph,
             &comps,
             &wash(),
-            &DefectMap::pristine(),
+            &assay.defects,
             None,
             &budget_for(timeout),
         )
@@ -668,18 +738,38 @@ fn print_rule_table(rules: &[mfb_verify::RuleInfo], is_enabled: impl Fn(&str) ->
     }
 }
 
+/// A resolved `verify`/`analyze` target: the assay, its components, and —
+/// when the target is a DSL file — its `flow` constraints and `defect`
+/// statements (empty and pristine for benchmarks).
+struct AssayTarget {
+    graph: SequencingGraph,
+    comps: ComponentSet,
+    flow: FlowDecl,
+    defects: DefectMap,
+}
+
 /// Resolves a benchmark name or `.assay` file path into an assay and its
 /// component allocation.
-fn resolve_assay_target(target: &str) -> Result<(SequencingGraph, ComponentSet), String> {
+fn resolve_assay_target(target: &str) -> Result<AssayTarget, String> {
     if let Some(b) = benchmark_by_name(target) {
-        Ok((b.graph.clone(), b.components(&ComponentLibrary::default())))
+        Ok(AssayTarget {
+            graph: b.graph.clone(),
+            comps: b.components(&ComponentLibrary::default()),
+            flow: FlowDecl::default(),
+            defects: DefectMap::pristine(),
+        })
     } else if std::path::Path::new(target).exists() {
         let text = std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?;
         let assay = parse_assay(&text).map_err(|e| format!("{target}: {e}"))?;
         let alloc = assay
             .allocation
             .ok_or("the assay file must contain an `alloc M H F D` line")?;
-        Ok((assay.graph, alloc.instantiate(&ComponentLibrary::default())))
+        Ok(AssayTarget {
+            graph: assay.graph,
+            comps: alloc.instantiate(&ComponentLibrary::default()),
+            flow: assay.flow,
+            defects: assay.defects,
+        })
     } else {
         Err(format!(
             "`{target}` is neither a benchmark (see `mfb list`) nor an assay file"
@@ -691,7 +781,7 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
     use mfb_verify::prelude::*;
 
     let mut target: Option<String> = None;
-    let mut flow = "ours".to_string();
+    let mut flow: Option<String> = None;
     let mut format = "pretty".to_string();
     let mut out: Option<String> = None;
     let mut only: Vec<String> = Vec::new();
@@ -700,7 +790,7 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--flow" => flow = it.next().ok_or("--flow needs a value")?.clone(),
+            "--flow" => flow = Some(it.next().ok_or("--flow needs a value")?.clone()),
             "--format" => format = it.next().ok_or("--format needs a value")?.clone(),
             "--out" => out = Some(it.next().ok_or("--out needs a file")?.clone()),
             "--only" => only.push(it.next().ok_or("--only needs a rule id")?.clone()),
@@ -730,18 +820,14 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
 
     let target =
         target.ok_or("usage: mfb verify <bench|file.assay> [--format pretty|json|sarif]")?;
-    let (graph, comps) = resolve_assay_target(&target)?;
+    let t = resolve_assay_target(&target)?;
 
-    let synth = match flow.as_str() {
-        "ours" => Synthesizer::paper_dcsa(),
-        "ba" => Synthesizer::paper_baseline(),
-        other => return Err(format!("unknown flow `{other}` (expected ours|ba)")),
-    };
+    let synth = Synthesizer::new(config_for_flow(flow.as_deref(), &t.flow)?);
     let router = synth.config().router;
     let solution = synth
-        .synthesize(&graph, &comps, &wash())
+        .synthesize_with_defects(&t.graph, &t.comps, &wash(), &t.defects)
         .map_err(|e| e.to_string())?;
-    let report = solution.drc_with(&graph, &comps, &wash(), router, &registry);
+    let report = solution.drc_with(&t.graph, &t.comps, &wash(), router, &registry);
 
     let rendered = match format.as_str() {
         "pretty" => render_pretty(&report),
@@ -768,7 +854,7 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     use mfb_verify::prelude::*;
 
     let mut target: Option<String> = None;
-    let mut flow = "ours".to_string();
+    let mut flow: Option<String> = None;
     let mut format = "pretty".to_string();
     let mut out: Option<String> = None;
     let mut only: Vec<String> = Vec::new();
@@ -778,7 +864,7 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--flow" => flow = it.next().ok_or("--flow needs a value")?.clone(),
+            "--flow" => flow = Some(it.next().ok_or("--flow needs a value")?.clone()),
             "--format" => format = it.next().ok_or("--format needs a value")?.clone(),
             "--out" => out = Some(it.next().ok_or("--out needs a file")?.clone()),
             "--only" => only.push(it.next().ok_or("--only needs a rule id")?.clone()),
@@ -808,22 +894,18 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
 
     let target =
         target.ok_or("usage: mfb analyze <bench|file.assay> [--format pretty|json|sarif]")?;
-    let (graph, comps) = resolve_assay_target(&target)?;
+    let t = resolve_assay_target(&target)?;
 
-    let synth = match flow.as_str() {
-        "ours" => Synthesizer::paper_dcsa(),
-        "ba" => Synthesizer::paper_baseline(),
-        other => return Err(format!("unknown flow `{other}` (expected ours|ba)")),
-    };
+    let synth = Synthesizer::new(config_for_flow(flow.as_deref(), &t.flow)?);
     let router = synth.config().router;
     let mut solution = synth
-        .synthesize(&graph, &comps, &wash())
+        .synthesize_with_defects(&t.graph, &t.comps, &wash(), &t.defects)
         .map_err(|e| e.to_string())?;
     if let Some(kind) = &inject {
         inject_defect(&mut solution, kind)?;
         eprintln!("injected `{kind}` defect into the routed solution");
     }
-    let report = solution.analyze_with(&graph, &comps, &wash(), router, &analyzer);
+    let report = solution.analyze_with(&t.graph, &t.comps, &wash(), router, &analyzer);
 
     let rendered = match format.as_str() {
         "pretty" => render_pretty(&report),

@@ -76,7 +76,10 @@ pub mod prelude {
     pub use crate::hash::{content_hash, wash_fingerprint, ContentHash, StableHasher};
     pub use crate::ids::{ComponentId, NetId, OpId, TaskId};
     pub use crate::operation::{Operation, OperationKind};
-    pub use crate::text::{parse_assay, write_assay, AssayFile, ParseError};
+    pub use crate::text::{
+        parse_assay, parse_assay_ast, write_assay, write_assay_ast, AssayAst, AssayFile,
+        DefectDecl, EdgeDecl, FlowDecl, FlowKind, FluidSpec, OpDecl, ParseError, Span,
+    };
     pub use crate::time::{peak_overlap, Duration, Instant, Interval};
     pub use crate::transport::{ConstantTc, PressureDriven, TransportModel};
     pub use crate::wash::{LogLinearWash, TableWash, WashModel};

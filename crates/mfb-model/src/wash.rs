@@ -105,6 +105,13 @@ impl LogLinearWash {
             .expect("inverse produced a valid coefficient")
     }
 
+    /// The longest wash time this model ever reports (its clamp), and the
+    /// largest value [`coefficient_for`](LogLinearWash::coefficient_for)
+    /// can invert. The `.assay` parser checks `wash=` values against this.
+    pub fn max_wash(&self) -> Duration {
+        Duration::from_secs_f64(self.max_secs)
+    }
+
     /// The model calibrated on the paper's two published anchor points, with
     /// wash time clamped to 10 s (the paper's worst-case residue, and its
     /// initial routing-cell weight `w_e = 10`).

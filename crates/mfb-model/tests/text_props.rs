@@ -1,7 +1,9 @@
-//! Property-based tests for the `.assay` text format: arbitrary graphs
-//! survive a write→parse round trip.
+//! Property-based tests for the `.assay` DSL: arbitrary graphs survive a
+//! write→parse round trip, generated ASTs survive parse→print→parse with
+//! an idempotent printer, and the parser never panics on garbage.
 
 use mfb_model::prelude::*;
+use mfb_model::text::{DefectDecl, EdgeDecl, FluidSpec, OpDecl, DSL_VERSION};
 use proptest::prelude::*;
 
 fn arb_kind() -> impl Strategy<Value = OperationKind> {
@@ -13,8 +15,135 @@ fn arb_kind() -> impl Strategy<Value = OperationKind> {
     ]
 }
 
+fn arb_fluid() -> impl Strategy<Value = FluidSpec> {
+    prop_oneof![
+        // Wash times on the tick lattice, within the calibrated clamp.
+        (0u64..=100).prop_map(|t| FluidSpec::Wash(Duration::from_ticks(t))),
+        (-9.0f64..-4.0).prop_map(|e| {
+            FluidSpec::Diffusion(DiffusionCoefficient::new(10f64.powf(e)).unwrap())
+        }),
+    ]
+}
+
+fn arb_flow() -> impl Strategy<Value = FlowDecl> {
+    (
+        proptest::option::of(prop_oneof![Just(FlowKind::Dcsa), Just(FlowKind::Baseline)]),
+        proptest::option::of(1u64..100),
+        proptest::option::of(proptest::prelude::any::<u64>()),
+    )
+        .prop_map(|(kind, t_c, seed)| FlowDecl {
+            kind,
+            t_c: t_c.map(Duration::from_ticks),
+            seed,
+        })
+}
+
+fn arb_defects() -> impl Strategy<Value = Vec<DefectDecl>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u32..30, 0u32..30).prop_map(|(x, y)| DefectDecl::Block {
+                x,
+                y,
+                span: Span::default()
+            }),
+            (0u32..8).prop_map(|component| DefectDecl::Dead {
+                component,
+                span: Span::default()
+            }),
+            (0u32..30, 0u32..30, 1u32..9).prop_map(|(x, y, extra_weight)| DefectDecl::Slow {
+                x,
+                y,
+                extra_weight,
+                span: Span::default()
+            }),
+        ],
+        0..6,
+    )
+}
+
+/// A structurally valid AST: unique op names, forward-only deduplicated
+/// edges, everything else drawn freely from the grammar.
+fn arb_ast() -> impl Strategy<Value = AssayAst> {
+    (
+        proptest::collection::vec((arb_kind(), 1u64..300, arb_fluid()), 1..16),
+        proptest::collection::vec((0usize..16, 0usize..16), 0..24),
+        arb_flow(),
+        arb_defects(),
+        proptest::option::of(
+            (1u32..5, 0u32..4, 0u32..4, 0u32..4)
+                .prop_map(|(m, h, f, d)| Allocation::new(m, h, f, d)),
+        ),
+        "[a-z][a-z0-9_.-]{0,10}",
+    )
+        .prop_map(|(ops, raw_edges, flow, defects, allocation, name)| {
+            let n = ops.len();
+            let ops: Vec<OpDecl> = ops
+                .into_iter()
+                .enumerate()
+                .map(|(i, (kind, ticks, fluid))| OpDecl {
+                    name: format!("op{i}"),
+                    kind,
+                    duration: Duration::from_ticks(ticks),
+                    fluid,
+                    span: Span::default(),
+                })
+                .collect();
+            let mut seen = std::collections::HashSet::new();
+            let edges: Vec<EdgeDecl> = raw_edges
+                .into_iter()
+                .filter(|&(i, j)| i < j && j < n && seen.insert((i, j)))
+                .map(|(i, j)| EdgeDecl {
+                    chain: vec![format!("op{i}"), format!("op{j}")],
+                    span: Span::default(),
+                })
+                .collect();
+            AssayAst {
+                version: DSL_VERSION,
+                name,
+                ops,
+                edges,
+                flow,
+                defects,
+                allocation,
+            }
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tentpole round-trip property: print a generated AST, parse it
+    /// back, and the statements (modulo spans), the lowered graph, flow
+    /// constraints and defect map all survive — and printing the reparsed
+    /// AST reproduces the text byte for byte (canonical form is a fixed
+    /// point).
+    #[test]
+    fn parse_print_parse_roundtrip(ast in arb_ast()) {
+        let printed = mfb_model::text::write_assay_ast(&ast);
+        let reparsed = parse_assay_ast(&printed)
+            .unwrap_or_else(|e| panic!("{e}\n---\n{printed}"));
+        prop_assert_eq!(&reparsed.name, &ast.name);
+        prop_assert_eq!(reparsed.ops.len(), ast.ops.len());
+        for (a, b) in ast.ops.iter().zip(&reparsed.ops) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.kind, b.kind);
+            prop_assert_eq!(a.duration, b.duration);
+            prop_assert_eq!(a.fluid, b.fluid);
+        }
+        prop_assert_eq!(
+            ast.edges.iter().map(|e| e.chain.clone()).collect::<Vec<_>>(),
+            reparsed.edges.iter().map(|e| e.chain.clone()).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(ast.flow, reparsed.flow);
+        prop_assert_eq!(ast.allocation, reparsed.allocation);
+
+        let lowered = ast.lower().unwrap();
+        let relowered = reparsed.lower().unwrap();
+        prop_assert_eq!(&lowered, &relowered);
+
+        // Printing is idempotent: format-of-format is a no-op.
+        prop_assert_eq!(mfb_model::text::write_assay_ast(&reparsed), printed);
+    }
 
     #[test]
     fn write_parse_roundtrip(
@@ -69,8 +198,12 @@ proptest! {
 
     #[test]
     fn parser_never_panics_on_arbitrary_text(text in "\\PC{0,200}") {
-        // Errors are fine; panics are not.
-        let _ = parse_assay(&text);
+        // Errors are fine; panics are not. Every error must carry a
+        // 1-based position.
+        if let Err(e) = parse_assay(&text) {
+            prop_assert!(e.line() >= 1);
+            prop_assert!(e.column() >= 1);
+        }
     }
 
     #[test]
@@ -81,6 +214,10 @@ proptest! {
                 Just("edge a -> b".to_string()),
                 Just("alloc 1 2 3 4".to_string()),
                 Just("assay \"x\"".to_string()),
+                Just("assay-dsl 1".to_string()),
+                Just("flow dcsa t_c=2s seed=7".to_string()),
+                Just("defect block 1 2".to_string()),
+                Just("defect slow 3 4 5".to_string()),
                 "\\PC{0,40}",
             ],
             0..20

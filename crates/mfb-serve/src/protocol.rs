@@ -29,6 +29,10 @@ pub const MAX_PRIORITY: u8 = 9;
 pub enum Request {
     /// Enqueue one synthesis job. `job_json` is the re-encoded manifest
     /// entry (same schema as one element of an `mfb batch` manifest).
+    /// In particular `{"job": {"assay": "<dsl>"}}` with a newline in the
+    /// string submits an inline `.assay` program — self-contained, no
+    /// file on the server needed — while a newline-free value is a path
+    /// resolved on the server.
     Submit {
         /// Re-encoded JSON of the `"job"` object.
         job_json: String,

@@ -291,3 +291,41 @@ fn cancel_is_typed_and_admission_control_rejects() {
     handle.drain();
     let _ = join.join();
 }
+
+#[test]
+fn inline_assay_submission_synthesizes_end_to_end() {
+    let (addr, handle, join) = start_server(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(addr);
+
+    // A self-contained `.assay` program carried in the submit frame: no
+    // file ever touches the server's disk.
+    let src = "assay-dsl 1\nassay \"wire\"\n\nop a mix 5s wash=2s\nop b detect 4s wash=1s\n\nedge a -> b\n\nflow baseline seed=3\n\nalloc 1 0 0 1\n";
+    let job = format!(
+        r#"{{"op":"submit","job":{{"assay":{}}}}}"#,
+        serde_json::to_string(&src.to_owned()).expect("encode")
+    );
+    let sub = c.call(&job);
+    assert!(ok(&sub), "{sub:?}");
+    let result = c.wait(&id_of(&sub), Duration::from_secs(120));
+    assert!(ok(&result), "{result:?}");
+    assert_eq!(result.get("state").and_then(Value::as_str), Some("done"));
+    let outcome = result.get("outcome").expect("outcome");
+    assert_eq!(outcome.get("ok").and_then(Value::as_bool), Some(true));
+    // The job's display name comes from the program's `assay` statement.
+    assert_eq!(outcome.get("name").and_then(Value::as_str), Some("wire"));
+
+    // A syntactically broken inline program fails with a typed error,
+    // not a dropped connection.
+    let bad = c.call(r#"{"op":"submit","job":{"assay":"assay-dsl 1\nop"}}"#);
+    assert_eq!(
+        bad.get("ok").and_then(Value::as_bool),
+        Some(false),
+        "{bad:?}"
+    );
+
+    handle.drain();
+    join.join().expect("server thread");
+}

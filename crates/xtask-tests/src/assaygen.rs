@@ -1,0 +1,342 @@
+//! Seeded grammar-based generation of `.assay` programs for fuzzing.
+//!
+//! Two generators, both deterministic functions of a `u64` seed:
+//!
+//! * [`valid_assay`] emits a program the v1 grammar accepts: the parser
+//!   must return `Ok` and the rest of the pipeline (lower → synthesize →
+//!   verify → DRC) must never panic on it;
+//! * [`mutated_assay`] starts from a valid program and applies a burst of
+//!   grammar-aware mutations — token swaps, number perturbation, line
+//!   splices, quote breaking, raw byte garbage. The parser may accept or
+//!   reject the result, but it must do one or the other *with a typed,
+//!   positioned error* and never panic.
+//!
+//! Randomness is a hand-rolled splitmix64 so the generator needs no
+//! external crates and a printed seed reproduces a failure exactly.
+
+/// splitmix64: tiny, fast, and plenty for fuzz-case shaping.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeds the generator. Seed 0 is remapped so the stream never sticks.
+    pub fn new(seed: u64) -> Self {
+        Rng(seed ^ 0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// True with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    /// Picks one element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// Picks one of a set of string literals (monomorphic so call sites
+    /// need no deref dance).
+    pub fn choose_str<'a>(&mut self, items: &[&'a str]) -> &'a str {
+        items[self.below(items.len() as u64) as usize]
+    }
+}
+
+const KINDS: &[&str] = &["mix", "heat", "filter", "detect"];
+
+/// Shape limits for generated programs, chosen so a full synthesis run per
+/// case stays fast enough for a 60-second CI smoke.
+#[derive(Debug, Clone)]
+pub struct GenOptions {
+    /// Largest op count (inclusive); at least 1.
+    pub max_ops: u64,
+    /// Emit `flow` statements.
+    pub with_flow: bool,
+    /// Emit `defect` statements.
+    pub with_defects: bool,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions {
+            max_ops: 6,
+            with_flow: true,
+            with_defects: true,
+        }
+    }
+}
+
+/// A grammatically valid v1 program. The op set always includes at least
+/// one op, every edge points forward (no cycles), and the `alloc` line
+/// covers every kind used, so lowering succeeds and synthesis has the
+/// components it needs.
+pub fn valid_assay(seed: u64, opts: &GenOptions) -> String {
+    let mut rng = Rng::new(seed);
+    let n = 1 + rng.below(opts.max_ops.max(1));
+    let mut s = String::from("assay-dsl 1\n");
+    if rng.chance(3, 4) {
+        s.push_str(&format!("assay \"fuzz-{}\"\n", rng.below(1 << 20)));
+    }
+
+    let mut used = [false; 4];
+    for i in 0..n {
+        let k = rng.below(4) as usize;
+        used[k] = true;
+        let dur = 1 + rng.below(20);
+        // wash= on the tick lattice inside the 10 s clamp, or a plausible
+        // diffusion coefficient.
+        let fluid = if rng.chance(1, 2) {
+            format!("wash={}s", rng.below(101) as f64 / 10.0)
+        } else {
+            format!("d=1e-{}", 5 + rng.below(4))
+        };
+        s.push_str(&format!("op o{i} {} {dur}s {fluid}\n", KINDS[k]));
+    }
+
+    // A forward spine keeps the DAG connected; extras stay forward too.
+    for i in 1..n {
+        s.push_str(&format!("edge o{} -> o{i}\n", i - 1));
+    }
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..rng.below(n + 1) {
+        let i = rng.below(n);
+        let j = rng.below(n);
+        if i + 1 < j && seen.insert((i, j)) {
+            s.push_str(&format!("edge o{i} -> o{j}\n"));
+        }
+    }
+
+    if opts.with_flow && rng.chance(1, 2) {
+        let mut line = String::from("flow");
+        if rng.chance(2, 3) {
+            line.push(' ');
+            line.push_str(rng.choose_str(&["dcsa", "ours", "baseline", "ba"]));
+        }
+        if rng.chance(1, 2) {
+            line.push_str(&format!(" t_c={}s", 1 + rng.below(6)));
+        }
+        if rng.chance(1, 2) {
+            line.push_str(&format!(" seed={}", rng.below(1 << 30)));
+        }
+        if line != "flow" {
+            s.push_str(&line);
+            s.push('\n');
+        }
+    }
+
+    if opts.with_defects && rng.chance(1, 3) {
+        for _ in 0..=rng.below(3) {
+            match rng.below(3) {
+                0 => s.push_str(&format!(
+                    "defect block {} {}\n",
+                    rng.below(25),
+                    rng.below(25)
+                )),
+                1 => s.push_str(&format!("defect dead {}\n", rng.below(6))),
+                _ => s.push_str(&format!(
+                    "defect slow {} {} {}\n",
+                    rng.below(25),
+                    rng.below(25),
+                    1 + rng.below(8)
+                )),
+            }
+        }
+    }
+
+    // Cover every kind used, with occasional slack capacity.
+    let extra = |rng: &mut Rng| rng.below(2);
+    s.push_str(&format!(
+        "alloc {} {} {} {}\n",
+        (used[0] as u64).max(1) + extra(&mut rng),
+        used[1] as u64 + extra(&mut rng),
+        used[2] as u64 + extra(&mut rng),
+        used[3] as u64 + extra(&mut rng),
+    ));
+    s
+}
+
+/// A mutated program: [`valid_assay`] plus 1..=4 grammar-aware edits.
+/// The result may or may not parse; it must never panic the pipeline.
+pub fn mutated_assay(seed: u64, opts: &GenOptions) -> String {
+    let mut rng = Rng::new(seed.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    let mut text = valid_assay(seed, opts);
+    for _ in 0..=rng.below(4) {
+        text = mutate_once(&mut rng, text);
+    }
+    text
+}
+
+fn mutate_once(rng: &mut Rng, text: String) -> String {
+    match rng.below(10) {
+        // Swap a line for a line of another statement kind.
+        0 => splice_line(rng, text, |rng| {
+            rng.choose_str(&[
+                "op o0 mix 5s wash=2s",
+                "edge o0 -> o0",
+                "edge o0 -> nosuch",
+                "flow dcsa dcsa",
+                "alloc 1 1 1 1",
+                "assay-dsl 2",
+                "defect block -1 4",
+            ])
+            .to_string()
+        }),
+        // Perturb a number: negative, enormous, non-finite, fractional junk.
+        1 => replace_first_number(
+            text,
+            rng.choose_str(&[
+                "-3",
+                "1e309",
+                "NaN",
+                "inf",
+                "0",
+                "999999999999",
+                "1.5e-3000",
+            ]),
+        ),
+        // Drop a random line.
+        2 => {
+            let lines: Vec<&str> = text.lines().collect();
+            if lines.is_empty() {
+                return text;
+            }
+            let drop = rng.below(lines.len() as u64) as usize;
+            let mut out: Vec<&str> = Vec::new();
+            for (i, l) in lines.iter().enumerate() {
+                if i != drop {
+                    out.push(l);
+                }
+            }
+            out.join("\n")
+        }
+        // Duplicate a random line (dup ops/edges/alloc are all typed errors).
+        3 => {
+            let lines: Vec<&str> = text.lines().collect();
+            if lines.is_empty() {
+                return text;
+            }
+            let dup = rng.below(lines.len() as u64) as usize;
+            let mut out: Vec<&str> = Vec::new();
+            for (i, l) in lines.iter().enumerate() {
+                out.push(l);
+                if i == dup {
+                    out.push(l);
+                }
+            }
+            out.join("\n")
+        }
+        // Truncate mid-byte.
+        4 => {
+            if text.is_empty() {
+                return text;
+            }
+            let mut cut = rng.below(text.len() as u64) as usize;
+            while cut > 0 && !text.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            text[..cut].to_string()
+        }
+        // Break quoting.
+        5 => text.replacen('"', "", 1),
+        // Shuffle arrow tokens.
+        6 => text.replacen("->", rng.choose_str(&["<-", "- >", "->->", ""]), 1),
+        // Inject raw garbage bytes (still valid UTF-8: the parser takes &str).
+        7 => {
+            let mut garbage = String::new();
+            for _ in 0..rng.below(12) {
+                garbage.push(char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap_or('?'));
+            }
+            format!("{text}\n{garbage}")
+        }
+        // Swap two whitespace-separated tokens on one line.
+        8 => {
+            let lines: Vec<String> = text.lines().map(str::to_string).collect();
+            if lines.is_empty() {
+                return text;
+            }
+            let idx = rng.below(lines.len() as u64) as usize;
+            let mut toks: Vec<&str> = lines[idx].split_whitespace().collect();
+            if toks.len() >= 2 {
+                let a = rng.below(toks.len() as u64) as usize;
+                let b = rng.below(toks.len() as u64) as usize;
+                toks.swap(a, b);
+            }
+            let mut out = lines.clone();
+            out[idx] = toks.join(" ");
+            out.join("\n")
+        }
+        // Prepend a bogus or duplicate version pragma.
+        _ => format!(
+            "{}\n{text}",
+            rng.choose_str(&["assay-dsl 1", "assay-dsl 0", "assay-dsl one"])
+        ),
+    }
+}
+
+fn splice_line(rng: &mut Rng, text: String, make: impl Fn(&mut Rng) -> String) -> String {
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    let at = if lines.is_empty() {
+        0
+    } else {
+        rng.below(lines.len() as u64 + 1) as usize
+    };
+    lines.insert(at, make(rng));
+    lines.join("\n")
+}
+
+fn replace_first_number(text: String, with: &str) -> String {
+    let Some(start) = text.find(|c: char| c.is_ascii_digit()) else {
+        return text;
+    };
+    let end = text[start..]
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == 'e' || c == '-'))
+        .map_or(text.len(), |o| start + o);
+    format!("{}{}{}", &text[..start], with, &text[end..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_assays_parse() {
+        let opts = GenOptions::default();
+        for seed in 0..200 {
+            let text = valid_assay(seed, &opts);
+            mfb_model::text::parse_assay(&text)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n---\n{text}"));
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let opts = GenOptions::default();
+        assert_eq!(valid_assay(42, &opts), valid_assay(42, &opts));
+        assert_eq!(mutated_assay(42, &opts), mutated_assay(42, &opts));
+    }
+
+    #[test]
+    fn mutated_assays_never_panic_the_parser() {
+        let opts = GenOptions::default();
+        for seed in 0..500 {
+            let text = mutated_assay(seed, &opts);
+            if let Err(e) = mfb_model::text::parse_assay(&text) {
+                assert!(e.line() >= 1, "seed {seed}");
+                assert!(e.column() >= 1, "seed {seed}");
+            }
+        }
+    }
+}

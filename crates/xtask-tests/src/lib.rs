@@ -1,2 +1,6 @@
 //! Carrier crate: exists only so the workspace-level integration tests in
-//! `/tests` are compiled and run by `cargo test --workspace`.
+//! `/tests` are compiled and run by `cargo test --workspace` — plus the
+//! seeded grammar-based assay generator behind the `assay_fuzz` binary
+//! and the bounded fuzz test in `/tests/assay_pipeline_fuzz.rs`.
+
+pub mod assaygen;
